@@ -1,0 +1,109 @@
+// Reproduces the claim of Figure 1 / Example 1.1: the magic transformation
+// makes the query graph *more complex* (more boxes, more joins) and yet
+// the transformed query executes orders of magnitude faster (the paper
+// reports two and a half orders of magnitude for Experiment G).
+//
+// We report, for the paper's query D:
+//   * box/quantifier counts of the executed graph per strategy,
+//   * execution wall time and deterministic work counters,
+//   * the Original/EMST ratio.
+
+#include <chrono>
+#include <cstdio>
+
+#include "qgm/printer.h"
+#include "workloads.h"
+
+namespace starmagic::bench {
+namespace {
+
+int Run() {
+  Database db;
+  EmpDeptConfig config;  // defaults: 2000 departments, 50000 employees
+  if (Status s = LoadEmpDept(&db, config); !s.ok()) {
+    std::fprintf(stderr, "%s\n", s.ToString().c_str());
+    return 1;
+  }
+  if (Status s = CreatePaperViews(&db); !s.ok()) {
+    std::fprintf(stderr, "%s\n", s.ToString().c_str());
+    return 1;
+  }
+
+  const char* query_d =
+      "SELECT d.deptname, s.workdept, s.avgsalary "
+      "FROM department d, avgMgrSal s "
+      "WHERE d.deptno = s.workdept AND d.deptname = 'Planning'";
+
+  std::printf("Figure 1: query D, %lld employees / %lld departments\n\n",
+              static_cast<long long>(config.num_employees),
+              static_cast<long long>(config.num_departments));
+  std::printf("%-11s %8s %12s %12s %10s %s\n", "strategy", "boxes",
+              "time(ms)", "work", "rows", "graph-complexity");
+
+  double original_ms = 0;
+  double emst_ms = 0;
+  int64_t original_work = 0;
+  int64_t emst_work = 0;
+  for (ExecutionStrategy strategy :
+       {ExecutionStrategy::kOriginal, ExecutionStrategy::kCorrelated,
+        ExecutionStrategy::kMagic}) {
+    auto pipeline = db.Explain(query_d, QueryOptions(strategy));
+    if (!pipeline.ok()) {
+      std::fprintf(stderr, "%s\n", pipeline.status().ToString().c_str());
+      return 1;
+    }
+    ExecOptions exec_options;
+    exec_options.memoize_correlation =
+        strategy != ExecutionStrategy::kCorrelated;
+    exec_options.shared_index_cache = std::make_shared<IndexCache>();
+    double best_ms = 0;
+    int64_t work = 0;
+    int64_t rows = 0;
+    for (int i = 0; i < 3; ++i) {
+      Executor executor(pipeline->graph.get(), db.catalog(), exec_options);
+      auto start = std::chrono::steady_clock::now();
+      auto result = executor.Run();
+      auto end = std::chrono::steady_clock::now();
+      if (!result.ok()) {
+        std::fprintf(stderr, "%s\n", result.status().ToString().c_str());
+        return 1;
+      }
+      double ms =
+          std::chrono::duration_cast<std::chrono::microseconds>(end - start)
+              .count() /
+          1000.0;
+      if (i == 0 || ms < best_ms) best_ms = ms;
+      work = executor.stats().TotalWork();
+      rows = result->num_rows();
+    }
+    std::printf("%-11s %8d %12.3f %12lld %10lld %s\n", StrategyName(strategy),
+                pipeline->graph->NumBoxes(), best_ms,
+                static_cast<long long>(work), static_cast<long long>(rows),
+                GraphComplexity(*pipeline->graph).c_str());
+    if (strategy == ExecutionStrategy::kOriginal) {
+      original_ms = best_ms;
+      original_work = work;
+    }
+    if (strategy == ExecutionStrategy::kMagic) {
+      emst_ms = best_ms;
+      emst_work = work;
+    }
+  }
+
+  double time_ratio = emst_ms > 0 ? original_ms / emst_ms : 0;
+  double work_ratio =
+      emst_work > 0 ? static_cast<double>(original_work) / emst_work : 0;
+  std::printf(
+      "\nOriginal/EMST speedup: %.1fx wall time, %.1fx work "
+      "(paper: ~300x on DB2)\n",
+      time_ratio, work_ratio);
+  bool pass = work_ratio >= 10.0;
+  std::printf("claim (>= 1 order of magnitude): %s\n",
+              pass ? "REPRODUCED" : "NOT REPRODUCED");
+  return pass ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace starmagic::bench
+
+int main() { return starmagic::bench::Run(); }

@@ -1,0 +1,95 @@
+// Component micro-benchmarks (google-benchmark): parsing, QGM building,
+// the rewrite pipeline with and without EMST, and end-to-end execution of
+// the paper's query D per strategy. Useful for tracking optimizer overhead
+// (the paper stresses that EMST must coexist with optimizer pruning).
+
+#include <benchmark/benchmark.h>
+
+#include "qgm/builder.h"
+#include "sql/parser.h"
+#include "workloads.h"
+
+namespace starmagic::bench {
+namespace {
+
+const char* kQueryD =
+    "SELECT d.deptname, s.workdept, s.avgsalary "
+    "FROM department d, avgMgrSal s "
+    "WHERE d.deptno = s.workdept AND d.deptname = 'Planning'";
+
+Database* SharedDb() {
+  static Database* db = [] {
+    auto* d = new Database();
+    EmpDeptConfig config;
+    config.num_departments = 200;
+    config.num_employees = 10000;
+    config.num_projects = 2000;
+    Status s = LoadEmpDept(d, config);
+    if (s.ok()) s = CreateBenchViews(d);
+    if (!s.ok()) {
+      std::fprintf(stderr, "setup: %s\n", s.ToString().c_str());
+      std::abort();
+    }
+    return d;
+  }();
+  return db;
+}
+
+void BM_ParseQueryD(benchmark::State& state) {
+  for (auto _ : state) {
+    auto r = ParseQuery(kQueryD);
+    benchmark::DoNotOptimize(r);
+  }
+}
+BENCHMARK(BM_ParseQueryD);
+
+void BM_BuildQgm(benchmark::State& state) {
+  Database* db = SharedDb();
+  auto blob = ParseQuery(kQueryD);
+  for (auto _ : state) {
+    QgmBuilder builder(db->catalog());
+    auto g = builder.Build(**blob);
+    benchmark::DoNotOptimize(g);
+  }
+}
+BENCHMARK(BM_BuildQgm);
+
+void BM_OptimizePipeline(benchmark::State& state) {
+  Database* db = SharedDb();
+  ExecutionStrategy strategy = static_cast<ExecutionStrategy>(state.range(0));
+  for (auto _ : state) {
+    auto r = db->Explain(kQueryD, QueryOptions(strategy));
+    if (!r.ok()) state.SkipWithError(r.status().ToString().c_str());
+    benchmark::DoNotOptimize(r);
+  }
+}
+BENCHMARK(BM_OptimizePipeline)
+    ->Arg(static_cast<int>(ExecutionStrategy::kOriginal))
+    ->Arg(static_cast<int>(ExecutionStrategy::kMagic));
+
+void BM_ExecuteQueryD(benchmark::State& state) {
+  Database* db = SharedDb();
+  ExecutionStrategy strategy = static_cast<ExecutionStrategy>(state.range(0));
+  auto pipeline = db->Explain(kQueryD, QueryOptions(strategy));
+  if (!pipeline.ok()) {
+    state.SkipWithError(pipeline.status().ToString().c_str());
+    return;
+  }
+  ExecOptions exec_options;
+  exec_options.memoize_correlation = strategy != ExecutionStrategy::kCorrelated;
+  for (auto _ : state) {
+    Executor executor(pipeline->graph.get(), db->catalog(), exec_options);
+    auto r = executor.Run();
+    if (!r.ok()) state.SkipWithError(r.status().ToString().c_str());
+    benchmark::DoNotOptimize(r);
+  }
+}
+BENCHMARK(BM_ExecuteQueryD)
+    ->Arg(static_cast<int>(ExecutionStrategy::kOriginal))
+    ->Arg(static_cast<int>(ExecutionStrategy::kCorrelated))
+    ->Arg(static_cast<int>(ExecutionStrategy::kMagic));
+
+}  // namespace
+}  // namespace starmagic::bench
+
+BENCHMARK_MAIN();

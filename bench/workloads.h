@@ -1,0 +1,65 @@
+#ifndef STARMAGIC_BENCH_WORKLOADS_H_
+#define STARMAGIC_BENCH_WORKLOADS_H_
+
+#include <cstdint>
+
+#include "engine/database.h"
+
+namespace starmagic::bench {
+
+/// Deterministic pseudo-random generator (splitmix64) so every bench run
+/// sees identical data.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) : state_(seed) {}
+  uint64_t Next();
+  /// Uniform in [0, n).
+  int64_t Uniform(int64_t n);
+  /// Zipf-ish skewed value in [0, n): low values are much more frequent.
+  int64_t Skewed(int64_t n, double exponent = 1.2);
+
+ private:
+  uint64_t state_;
+};
+
+/// Parameters for the employee/department corpus used by Table 1.
+struct EmpDeptConfig {
+  int64_t num_departments = 2000;
+  int64_t num_employees = 50000;
+  int64_t num_projects = 5000;
+  uint64_t seed = 42;
+};
+
+/// Creates and populates:
+///   department(deptno, deptname, mgrno, budget)  PK deptno
+///   employee(empno, empname, workdept, salary, bonus)  PK empno
+///   project(projno, projname, deptno, budget)  PK projno
+/// plus ANALYZE. Department 7 is named 'Planning'.
+Status LoadEmpDept(Database* db, const EmpDeptConfig& config);
+
+/// A probe table with controllable duplication: `<name>(pdept, tag)` with
+/// `rows` rows whose pdept values are drawn from `distinct_depts` distinct
+/// departments (so rows/distinct_depts duplicates per value on average).
+Status LoadProbe(Database* db, const std::string& name, int64_t rows,
+                 int64_t distinct_depts, uint64_t seed);
+
+/// Registers the decision-support views shared by the Table 1 experiments:
+///   avgDeptSal(workdept, avgsalary)        — aggregation over employee
+///   deptActivity(dept, people, spend)      — aggregation over a join with
+///                                            fan-out (employee x project)
+///   bigDeptActivity(dept, people, spend)   — a view over deptActivity
+/// plus the paper's mgrSal / avgMgrSal (CreatePaperViews).
+Status CreateBenchViews(Database* db);
+
+/// Directed graph for recursion benches: `edge(src, dst)` with
+/// `num_nodes` nodes and roughly `num_nodes * avg_degree` edges, layered
+/// so that paths terminate.
+Status LoadEdges(Database* db, int64_t num_nodes, double avg_degree,
+                 uint64_t seed);
+
+/// Registers the avgMgrSal / mgrSal views of the paper's Example 1.1.
+Status CreatePaperViews(Database* db);
+
+}  // namespace starmagic::bench
+
+#endif  // STARMAGIC_BENCH_WORKLOADS_H_

@@ -1,0 +1,57 @@
+// Recursion with magic: a reachability query over a flight network.
+// The recursive view computes all connections; asking for the connections
+// of one airport lets the magic-sets transformation bind the source and
+// restrict the fixpoint — the classic magic-sets win.
+
+#include <cstdio>
+
+#include "engine/database.h"
+
+using namespace starmagic;
+
+int main() {
+  Database db;
+  Status s = db.ExecuteScript(R"sql(
+    CREATE TABLE flight (origin VARCHAR, destination VARCHAR);
+    INSERT INTO flight VALUES
+      ('SFO', 'JFK'), ('SFO', 'ORD'), ('ORD', 'JFK'), ('JFK', 'LHR'),
+      ('LHR', 'CDG'), ('CDG', 'FCO'), ('ORD', 'DEN'), ('DEN', 'SEA'),
+      ('SEA', 'NRT'), ('NRT', 'SYD'), ('BOS', 'JFK'), ('MIA', 'BOS');
+
+    CREATE RECURSIVE VIEW connects (origin, destination) AS
+      SELECT origin, destination FROM flight
+      UNION
+      SELECT c.origin, f.destination
+      FROM connects c, flight f WHERE c.destination = f.origin;
+
+    ANALYZE;
+  )sql");
+  if (!s.ok()) {
+    std::fprintf(stderr, "setup failed: %s\n", s.ToString().c_str());
+    return 1;
+  }
+
+  const char* question =
+      "SELECT destination FROM connects WHERE origin = 'SFO' "
+      "ORDER BY destination";
+
+  std::printf("Where can you get to from SFO?\n\n");
+  for (ExecutionStrategy strategy :
+       {ExecutionStrategy::kOriginal, ExecutionStrategy::kMagic}) {
+    auto result = db.Query(question, QueryOptions(strategy));
+    if (!result.ok()) {
+      std::fprintf(stderr, "%s failed: %s\n", StrategyName(strategy),
+                   result.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("%s:\n", StrategyName(strategy));
+    for (const Row& row : result->table.rows()) {
+      std::printf("  %s\n", row[0].string_value().c_str());
+    }
+    std::printf("  (%s)\n\n", result->exec_stats.ToString().c_str());
+  }
+  std::printf(
+      "The magic strategy computes the closure only for tuples reachable\n"
+      "from SFO: compare the work counters above.\n");
+  return 0;
+}

@@ -1,0 +1,146 @@
+// starmagic shell: an interactive (or piped) SQL REPL on the embedded
+// engine. Statements end with ';'. Dot-commands control the session:
+//
+//   .strategy original|correlated|magic   execution strategy for SELECTs
+//   .explain on|off                       print the optimized query graph
+//   .stats on|off                         print executor work counters
+//   .import <table> <file.csv>            load CSV rows into a table
+//   .export <table> <file.csv>            dump a table to CSV
+//   .tables                               list tables and views
+//   .help  .quit
+//
+// Example session:
+//   echo "CREATE TABLE t (a INTEGER); INSERT INTO t VALUES (1),(2);
+//         SELECT * FROM t;" | ./build/examples/shell
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "catalog/table_io.h"
+#include "common/string_util.h"
+#include "engine/database.h"
+#include "qgm/printer.h"
+
+using namespace starmagic;
+
+namespace {
+
+struct ShellState {
+  Database db;
+  ExecutionStrategy strategy = ExecutionStrategy::kMagic;
+  bool explain = false;
+  bool stats = false;
+};
+
+void RunStatement(ShellState* state, const std::string& sql) {
+  // Heuristic dispatch: SELECT goes through Query, everything else through
+  // Execute.
+  size_t first = sql.find_first_not_of(" \t\r\n");
+  if (first == std::string::npos) return;
+  std::string head = ToUpper(sql.substr(first, 6));
+  if (head.rfind("SELECT", 0) == 0) {
+    QueryOptions options(state->strategy);
+    options.capture_plan_report = state->explain;
+    auto r = state->db.Query(sql, options);
+    if (!r.ok()) {
+      std::printf("error: %s\n", r.status().ToString().c_str());
+      return;
+    }
+    std::printf("%s", r->table.ToString(50).c_str());
+    if (state->stats) {
+      std::printf("-- %s; plan: %s (C1=%.0f C2=%.0f)\n",
+                  r->exec_stats.ToString().c_str(),
+                  r->emst_chosen ? "magic" : "original", r->cost_no_emst,
+                  r->cost_with_emst);
+    }
+    if (state->explain) std::printf("%s", r->plan_report.c_str());
+    return;
+  }
+  Status s = state->db.Execute(sql);
+  std::printf("%s\n", s.ok() ? "ok" : s.ToString().c_str());
+}
+
+bool RunDotCommand(ShellState* state, const std::string& line) {
+  std::istringstream in(line);
+  std::string cmd, a, b;
+  in >> cmd >> a >> b;
+  if (cmd == ".quit" || cmd == ".exit") return false;
+  if (cmd == ".help") {
+    std::printf(
+        ".strategy original|correlated|magic\n.explain on|off\n"
+        ".stats on|off\n.import <table> <file.csv>\n"
+        ".export <table> <file.csv>\n.tables\n.quit\n");
+  } else if (cmd == ".strategy") {
+    if (a == "original") state->strategy = ExecutionStrategy::kOriginal;
+    else if (a == "correlated") state->strategy = ExecutionStrategy::kCorrelated;
+    else if (a == "magic") state->strategy = ExecutionStrategy::kMagic;
+    else std::printf("unknown strategy '%s'\n", a.c_str());
+    std::printf("strategy = %s\n", StrategyName(state->strategy));
+  } else if (cmd == ".explain") {
+    state->explain = a == "on";
+    std::printf("explain = %s\n", state->explain ? "on" : "off");
+  } else if (cmd == ".stats") {
+    state->stats = a == "on";
+    std::printf("stats = %s\n", state->stats ? "on" : "off");
+  } else if (cmd == ".import" || cmd == ".export") {
+    Table* table = state->db.catalog()->GetTable(a);
+    if (table == nullptr) {
+      std::printf("error: no table '%s'\n", a.c_str());
+      return true;
+    }
+    Status s = cmd == ".import" ? ImportCsv(table, b) : ExportCsv(*table, b);
+    if (s.ok() && cmd == ".import") s = state->db.catalog()->AnalyzeTable(a);
+    std::printf("%s\n", s.ok() ? "ok" : s.ToString().c_str());
+  } else if (cmd == ".tables") {
+    for (const std::string& name : state->db.catalog()->TableNames()) {
+      const Table* t = state->db.catalog()->GetTable(name);
+      std::printf("table %s %s [%lld rows]\n", name.c_str(),
+                  t->schema().ToString().c_str(),
+                  static_cast<long long>(t->num_rows()));
+    }
+    for (const std::string& name : state->db.catalog()->ViewNames()) {
+      std::printf("view  %s\n", name.c_str());
+    }
+  } else {
+    std::printf("unknown command %s (try .help)\n", cmd.c_str());
+  }
+  return true;
+}
+
+}  // namespace
+
+int main() {
+  ShellState state;
+  bool tty = isatty(0);
+  if (tty) {
+    std::printf("starmagic shell — SQL with the magic-sets optimizer.\n"
+                "Statements end with ';'. Try .help\n");
+  }
+  std::string buffer;
+  std::string line;
+  while (true) {
+    if (tty) std::printf(buffer.empty() ? "magic> " : "   ...> ");
+    if (!std::getline(std::cin, line)) break;
+    bool buffer_blank =
+        buffer.find_first_not_of(" \t\r\n") == std::string::npos;
+    if (buffer_blank && !line.empty() && line[0] == '.') {
+      buffer.clear();
+      if (!RunDotCommand(&state, line)) break;
+      continue;
+    }
+    buffer += line;
+    buffer += '\n';
+    // Execute every complete ';'-terminated statement in the buffer.
+    size_t pos;
+    while ((pos = buffer.find(';')) != std::string::npos) {
+      std::string stmt = buffer.substr(0, pos);
+      buffer.erase(0, pos + 1);
+      RunStatement(&state, stmt);
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,104 @@
+#include "catalog/catalog.h"
+
+#include "common/string_util.h"
+
+namespace starmagic {
+
+std::string Catalog::Key(const std::string& name) { return ToLower(name); }
+
+Status Catalog::CreateTable(const std::string& name, Schema schema) {
+  std::string key = Key(name);
+  if (tables_.count(key) || views_.count(key)) {
+    return Status::AlreadyExists(StrCat("relation '", name, "' already exists"));
+  }
+  tables_[key] = std::make_unique<Table>(name, std::move(schema));
+  return Status::OK();
+}
+
+Status Catalog::CreateView(ViewDefinition view) {
+  std::string key = Key(view.name);
+  if (tables_.count(key) || views_.count(key)) {
+    return Status::AlreadyExists(
+        StrCat("relation '", view.name, "' already exists"));
+  }
+  views_[key] = std::move(view);
+  return Status::OK();
+}
+
+Status Catalog::DropTable(const std::string& name) {
+  std::string key = Key(name);
+  if (tables_.erase(key) == 0) {
+    return Status::NotFound(StrCat("table '", name, "' does not exist"));
+  }
+  stats_.erase(key);
+  return Status::OK();
+}
+
+Status Catalog::DropView(const std::string& name) {
+  if (views_.erase(Key(name)) == 0) {
+    return Status::NotFound(StrCat("view '", name, "' does not exist"));
+  }
+  return Status::OK();
+}
+
+bool Catalog::HasTable(const std::string& name) const {
+  return tables_.count(Key(name)) > 0;
+}
+
+bool Catalog::HasView(const std::string& name) const {
+  return views_.count(Key(name)) > 0;
+}
+
+Table* Catalog::GetTable(const std::string& name) {
+  auto it = tables_.find(Key(name));
+  return it == tables_.end() ? nullptr : it->second.get();
+}
+
+const Table* Catalog::GetTable(const std::string& name) const {
+  auto it = tables_.find(Key(name));
+  return it == tables_.end() ? nullptr : it->second.get();
+}
+
+const ViewDefinition* Catalog::GetView(const std::string& name) const {
+  auto it = views_.find(Key(name));
+  return it == views_.end() ? nullptr : &it->second;
+}
+
+std::vector<std::string> Catalog::TableNames() const {
+  std::vector<std::string> names;
+  names.reserve(tables_.size());
+  for (const auto& [key, table] : tables_) names.push_back(table->name());
+  return names;
+}
+
+std::vector<std::string> Catalog::ViewNames() const {
+  std::vector<std::string> names;
+  names.reserve(views_.size());
+  for (const auto& [key, view] : views_) names.push_back(view.name);
+  return names;
+}
+
+Status Catalog::AnalyzeTable(const std::string& name) {
+  Table* table = GetTable(name);
+  if (table == nullptr) {
+    return Status::NotFound(StrCat("table '", name, "' does not exist"));
+  }
+  stats_[Key(name)] = Analyze(*table);
+  return Status::OK();
+}
+
+Status Catalog::AnalyzeAll() {
+  for (const auto& [key, table] : tables_) stats_[key] = Analyze(*table);
+  return Status::OK();
+}
+
+const TableStats* Catalog::GetStats(const std::string& name) const {
+  auto it = stats_.find(Key(name));
+  return it == stats_.end() ? nullptr : &it->second;
+}
+
+void Catalog::SetStats(const std::string& name, TableStats stats) {
+  stats_[Key(name)] = std::move(stats);
+}
+
+}  // namespace starmagic

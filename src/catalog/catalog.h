@@ -1,0 +1,76 @@
+#ifndef STARMAGIC_CATALOG_CATALOG_H_
+#define STARMAGIC_CATALOG_CATALOG_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "catalog/statistics.h"
+#include "catalog/table.h"
+#include "common/status.h"
+
+namespace starmagic {
+
+/// A stored view definition. The body is kept as SQL text; the QGM builder
+/// parses and expands it at query-build time (Starburst likewise kept view
+/// definitions in QGM form and grafted them into queries).
+struct ViewDefinition {
+  std::string name;
+  /// Optional explicit output column names (empty = derive from body).
+  std::vector<std::string> column_names;
+  /// The view body, e.g. "SELECT ... FROM ...".
+  std::string body_sql;
+  /// True if the view (possibly mutually) references itself; computed by
+  /// the builder on first use and cached here for diagnostics.
+  bool is_recursive = false;
+};
+
+/// Name → table/view registry with optimizer statistics.
+/// Names are case-insensitive.
+class Catalog {
+ public:
+  Catalog() = default;
+  Catalog(const Catalog&) = delete;
+  Catalog& operator=(const Catalog&) = delete;
+
+  /// Creates an empty table. Fails if a table or view with the name exists.
+  Status CreateTable(const std::string& name, Schema schema);
+  /// Registers a view. Fails if a table or view with the name exists.
+  Status CreateView(ViewDefinition view);
+
+  Status DropTable(const std::string& name);
+  Status DropView(const std::string& name);
+
+  bool HasTable(const std::string& name) const;
+  bool HasView(const std::string& name) const;
+
+  /// Returns the table, or nullptr if absent.
+  Table* GetTable(const std::string& name);
+  const Table* GetTable(const std::string& name) const;
+  /// Returns the view definition, or nullptr if absent.
+  const ViewDefinition* GetView(const std::string& name) const;
+
+  std::vector<std::string> TableNames() const;
+  std::vector<std::string> ViewNames() const;
+
+  /// Recomputes statistics for one table (or all tables when name empty).
+  Status AnalyzeTable(const std::string& name);
+  Status AnalyzeAll();
+
+  /// Statistics for `name`; returns nullptr if never analyzed.
+  const TableStats* GetStats(const std::string& name) const;
+  /// Overrides statistics (tests / synthetic workloads).
+  void SetStats(const std::string& name, TableStats stats);
+
+ private:
+  static std::string Key(const std::string& name);
+
+  std::map<std::string, std::unique_ptr<Table>> tables_;
+  std::map<std::string, ViewDefinition> views_;
+  std::map<std::string, TableStats> stats_;
+};
+
+}  // namespace starmagic
+
+#endif  // STARMAGIC_CATALOG_CATALOG_H_

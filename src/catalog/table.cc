@@ -1,0 +1,58 @@
+#include "catalog/table.h"
+
+#include <algorithm>
+
+#include "common/string_util.h"
+
+namespace starmagic {
+
+Status Table::Append(Row row) {
+  if (static_cast<int>(row.size()) != schema_.num_columns()) {
+    return Status::InvalidArgument(
+        StrCat("row arity ", row.size(), " does not match schema arity ",
+               schema_.num_columns(), " for table '", name_, "'"));
+  }
+  for (int i = 0; i < schema_.num_columns(); ++i) {
+    if (!ValueMatchesType(row[static_cast<size_t>(i)], schema_.column(i).type)) {
+      return Status::InvalidArgument(
+          StrCat("value ", row[static_cast<size_t>(i)].ToString(),
+                 " does not match type ", ColumnTypeName(schema_.column(i).type),
+                 " of column '", schema_.column(i).name, "' in table '", name_,
+                 "'"));
+    }
+  }
+  rows_.push_back(std::move(row));
+  return Status::OK();
+}
+
+std::vector<Row> Table::SortedRows() const {
+  std::vector<Row> sorted = rows_;
+  std::sort(sorted.begin(), sorted.end(),
+            [](const Row& a, const Row& b) { return CompareRows(a, b) < 0; });
+  return sorted;
+}
+
+bool Table::BagEquals(const Table& a, const Table& b) {
+  if (a.num_rows() != b.num_rows()) return false;
+  std::vector<Row> sa = a.SortedRows();
+  std::vector<Row> sb = b.SortedRows();
+  for (size_t i = 0; i < sa.size(); ++i) {
+    if (!RowsEqualGrouping(sa[i], sb[i])) return false;
+  }
+  return true;
+}
+
+std::string Table::ToString(size_t max_rows) const {
+  std::string out = StrCat(name_.empty() ? "<result>" : name_, " ",
+                           schema_.ToString(), " [", rows_.size(), " rows]\n");
+  size_t shown = std::min(max_rows, rows_.size());
+  for (size_t i = 0; i < shown; ++i) {
+    out += StrCat("  ", RowToString(rows_[i]), "\n");
+  }
+  if (shown < rows_.size()) {
+    out += StrCat("  ... (", rows_.size() - shown, " more)\n");
+  }
+  return out;
+}
+
+}  // namespace starmagic

@@ -1,0 +1,62 @@
+#ifndef STARMAGIC_CATALOG_TABLE_H_
+#define STARMAGIC_CATALOG_TABLE_H_
+
+#include <string>
+#include <vector>
+
+#include "catalog/schema.h"
+#include "common/row.h"
+#include "common/status.h"
+
+namespace starmagic {
+
+/// An in-memory relation with bag semantics. Base tables and materialized
+/// intermediate results both use this representation.
+class Table {
+ public:
+  Table() = default;
+  Table(std::string name, Schema schema)
+      : name_(std::move(name)), schema_(std::move(schema)) {}
+
+  const std::string& name() const { return name_; }
+  const Schema& schema() const { return schema_; }
+
+  /// Primary-key column ordinals (empty = no key declared). Used by the
+  /// distinct-pullup rule to infer duplicate-freeness.
+  const std::vector<int>& primary_key() const { return primary_key_; }
+  void SetPrimaryKey(std::vector<int> columns) {
+    primary_key_ = std::move(columns);
+  }
+  const std::vector<Row>& rows() const { return rows_; }
+  std::vector<Row>& mutable_rows() { return rows_; }
+  int64_t num_rows() const { return static_cast<int64_t>(rows_.size()); }
+
+  /// Appends a row after checking arity and column types.
+  Status Append(Row row);
+  /// Appends without validation (hot path for the executor).
+  void AppendUnchecked(Row row) { rows_.push_back(std::move(row)); }
+
+  void Reserve(size_t n) { rows_.reserve(n); }
+  void Clear() { rows_.clear(); }
+
+  /// Sorted copy of the rows (total order) — used for bag comparison in
+  /// tests and for ORDER BY-free deterministic output.
+  std::vector<Row> SortedRows() const;
+
+  /// True when the two tables contain the same bag of rows (order
+  /// insensitive, duplicates significant). Schemas must have equal arity.
+  static bool BagEquals(const Table& a, const Table& b);
+
+  /// Multi-line textual rendering with a header; `max_rows` caps output.
+  std::string ToString(size_t max_rows = 20) const;
+
+ private:
+  std::string name_;
+  Schema schema_;
+  std::vector<Row> rows_;
+  std::vector<int> primary_key_;
+};
+
+}  // namespace starmagic
+
+#endif  // STARMAGIC_CATALOG_TABLE_H_

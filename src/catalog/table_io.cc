@@ -1,0 +1,175 @@
+#include "catalog/table_io.h"
+
+#include <cstdlib>
+#include <fstream>
+
+#include "common/string_util.h"
+
+namespace starmagic {
+
+std::string CsvField(const Value& v) {
+  switch (v.kind()) {
+    case ValueKind::kNull:
+      return "";
+    case ValueKind::kBool:
+      return v.bool_value() ? "true" : "false";
+    case ValueKind::kInt:
+      return std::to_string(v.int_value());
+    case ValueKind::kDouble:
+      return FormatDouble(v.double_value());
+    case ValueKind::kString: {
+      std::string out = "\"";
+      for (char c : v.string_value()) {
+        if (c == '"') out += '"';
+        out += c;
+      }
+      out += '"';
+      return out;
+    }
+  }
+  return "";
+}
+
+Status ExportCsv(const Table& table, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) {
+    return Status::InvalidArgument(StrCat("cannot open '", path, "' for write"));
+  }
+  std::vector<std::string> header;
+  for (const Column& c : table.schema().columns()) header.push_back(c.name);
+  out << Join(header, ",") << "\n";
+  for (const Row& row : table.rows()) {
+    std::vector<std::string> fields;
+    fields.reserve(row.size());
+    for (const Value& v : row) fields.push_back(CsvField(v));
+    out << Join(fields, ",") << "\n";
+  }
+  return out.good() ? Status::OK()
+                    : Status::ExecutionError(StrCat("write to '", path,
+                                                    "' failed"));
+}
+
+Result<std::vector<std::string>> SplitCsvLine(const std::string& line) {
+  std::vector<std::string> fields;
+  std::string field;
+  bool quoted = false;
+  bool was_quoted = false;
+  for (size_t i = 0; i < line.size(); ++i) {
+    char c = line[i];
+    if (quoted) {
+      if (c == '"') {
+        if (i + 1 < line.size() && line[i + 1] == '"') {
+          field += '"';
+          ++i;
+        } else {
+          quoted = false;
+        }
+      } else {
+        field += c;
+      }
+      continue;
+    }
+    if (c == '"' && field.empty() && !was_quoted) {
+      quoted = true;
+      was_quoted = true;
+      continue;
+    }
+    if (c == ',') {
+      // Quoted fields carry a '\x01' prefix so the type coercion can tell
+      // a quoted empty string from an unquoted empty field (NULL).
+      fields.push_back(was_quoted ? StrCat("\x01", field) : field);
+      field.clear();
+      was_quoted = false;
+      continue;
+    }
+    field += c;
+  }
+  if (quoted) {
+    return Status::InvalidArgument("unterminated quote in CSV line");
+  }
+  fields.push_back(was_quoted ? StrCat("\x01", field) : field);
+  return fields;
+}
+
+namespace {
+
+Result<Value> ParseField(const std::string& raw, ColumnType type) {
+  bool was_quoted = !raw.empty() && raw[0] == '\x01';
+  std::string text = was_quoted ? raw.substr(1) : raw;
+  if (!was_quoted && text.empty()) return Value::Null();
+  switch (type) {
+    case ColumnType::kBool:
+      if (EqualsIgnoreCase(text, "true") || text == "1") return Value::Bool(true);
+      if (EqualsIgnoreCase(text, "false") || text == "0") {
+        return Value::Bool(false);
+      }
+      return Status::InvalidArgument(StrCat("bad boolean '", text, "'"));
+    case ColumnType::kInt: {
+      char* end = nullptr;
+      long long v = std::strtoll(text.c_str(), &end, 10);
+      if (end == nullptr || *end != '\0') {
+        return Status::InvalidArgument(StrCat("bad integer '", text, "'"));
+      }
+      return Value::Int(v);
+    }
+    case ColumnType::kDouble: {
+      char* end = nullptr;
+      double v = std::strtod(text.c_str(), &end);
+      if (end == nullptr || *end != '\0') {
+        return Status::InvalidArgument(StrCat("bad double '", text, "'"));
+      }
+      return Value::Double(v);
+    }
+    case ColumnType::kString:
+      return Value::String(std::move(text));
+  }
+  return Status::Internal("unhandled column type");
+}
+
+}  // namespace
+
+Status ImportCsv(Table* table, const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    return Status::NotFound(StrCat("cannot open '", path, "'"));
+  }
+  std::string line;
+  if (!std::getline(in, line)) {
+    return Status::InvalidArgument(StrCat("'", path, "' is empty (no header)"));
+  }
+  SM_ASSIGN_OR_RETURN(std::vector<std::string> header, SplitCsvLine(line));
+  if (static_cast<int>(header.size()) != table->schema().num_columns()) {
+    return Status::InvalidArgument(
+        StrCat("CSV has ", header.size(), " columns, table '", table->name(),
+               "' expects ", table->schema().num_columns()));
+  }
+  int lineno = 1;
+  while (std::getline(in, line)) {
+    ++lineno;
+    if (line.empty()) continue;
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    SM_ASSIGN_OR_RETURN(std::vector<std::string> fields, SplitCsvLine(line));
+    if (static_cast<int>(fields.size()) != table->schema().num_columns()) {
+      return Status::InvalidArgument(
+          StrCat("line ", lineno, ": expected ",
+                 table->schema().num_columns(), " fields, got ",
+                 fields.size()));
+    }
+    Row row;
+    row.reserve(fields.size());
+    for (size_t c = 0; c < fields.size(); ++c) {
+      auto v = ParseField(fields[c], table->schema().column(static_cast<int>(c)).type);
+      if (!v.ok()) {
+        return Status::InvalidArgument(
+            StrCat("line ", lineno, ", column '",
+                   table->schema().column(static_cast<int>(c)).name,
+                   "': ", v.status().message()));
+      }
+      row.push_back(std::move(*v));
+    }
+    SM_RETURN_IF_ERROR(table->Append(std::move(row)));
+  }
+  return Status::OK();
+}
+
+}  // namespace starmagic

@@ -1,0 +1,26 @@
+#ifndef STARMAGIC_CATALOG_TABLE_IO_H_
+#define STARMAGIC_CATALOG_TABLE_IO_H_
+
+#include <string>
+
+#include "catalog/table.h"
+
+namespace starmagic {
+
+/// Writes `table` as CSV: a header row with column names, then one line per
+/// row. Strings are double-quoted with `""` escaping; NULL is an empty
+/// unquoted field.
+Status ExportCsv(const Table& table, const std::string& path);
+
+/// Appends rows parsed from a CSV file (with a header line, which is
+/// checked against the schema's column count) into `table`. Values are
+/// coerced to the declared column types; empty unquoted fields are NULL.
+Status ImportCsv(Table* table, const std::string& path);
+
+/// Parsing/serialization helpers (exposed for tests).
+Result<std::vector<std::string>> SplitCsvLine(const std::string& line);
+std::string CsvField(const Value& v);
+
+}  // namespace starmagic
+
+#endif  // STARMAGIC_CATALOG_TABLE_IO_H_

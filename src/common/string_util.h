@@ -1,0 +1,43 @@
+#ifndef STARMAGIC_COMMON_STRING_UTIL_H_
+#define STARMAGIC_COMMON_STRING_UTIL_H_
+
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace starmagic {
+
+namespace internal_string {
+inline void AppendPieces(std::ostringstream&) {}
+template <typename T, typename... Rest>
+void AppendPieces(std::ostringstream& os, const T& first, const Rest&... rest) {
+  os << first;
+  AppendPieces(os, rest...);
+}
+}  // namespace internal_string
+
+/// Concatenates streamable pieces into one string.
+template <typename... Args>
+std::string StrCat(const Args&... args) {
+  std::ostringstream os;
+  internal_string::AppendPieces(os, args...);
+  return os.str();
+}
+
+/// ASCII lowercase copy.
+std::string ToLower(std::string_view s);
+/// ASCII uppercase copy.
+std::string ToUpper(std::string_view s);
+/// Case-insensitive ASCII equality.
+bool EqualsIgnoreCase(std::string_view a, std::string_view b);
+
+/// Joins `parts` with `sep`.
+std::string Join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// Renders a double without trailing-zero noise ("3.5", "2", "0.125").
+std::string FormatDouble(double v);
+
+}  // namespace starmagic
+
+#endif  // STARMAGIC_COMMON_STRING_UTIL_H_

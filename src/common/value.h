@@ -1,0 +1,106 @@
+#ifndef STARMAGIC_COMMON_VALUE_H_
+#define STARMAGIC_COMMON_VALUE_H_
+
+#include <cstdint>
+#include <string>
+#include <variant>
+
+#include "common/status.h"
+
+namespace starmagic {
+
+/// SQL three-valued logic. WHERE and HAVING keep a row only when the
+/// predicate evaluates to kTrue; kUnknown behaves like kFalse for row
+/// selection but participates in NOT/AND/OR per the SQL truth tables.
+enum class TriBool { kFalse = 0, kTrue = 1, kUnknown = 2 };
+
+TriBool TriNot(TriBool v);
+TriBool TriAnd(TriBool a, TriBool b);
+TriBool TriOr(TriBool a, TriBool b);
+const char* TriBoolName(TriBool v);
+
+/// Runtime type tag of a Value.
+enum class ValueKind { kNull = 0, kBool, kInt, kDouble, kString };
+
+const char* ValueKindName(ValueKind kind);
+
+/// A dynamically typed SQL value: NULL, BOOLEAN, INTEGER (64-bit),
+/// DOUBLE, or VARCHAR. Values are small, copyable, and hashable.
+///
+/// Two comparison regimes exist, both of which SQL requires:
+///  - `CompareSql` / `EqualsSql`: SQL semantics, NULL yields kUnknown.
+///  - `CompareTotal` / `EqualsGrouping`: a total order where NULL sorts
+///    first and equals itself — used by GROUP BY, DISTINCT, set
+///    operations, and ORDER BY.
+class Value {
+ public:
+  Value() : rep_(std::monostate{}) {}
+
+  static Value Null() { return Value(); }
+  static Value Bool(bool v) { return Value(Rep(v)); }
+  static Value Int(int64_t v) { return Value(Rep(v)); }
+  static Value Double(double v) { return Value(Rep(v)); }
+  static Value String(std::string v) { return Value(Rep(std::move(v))); }
+
+  ValueKind kind() const { return static_cast<ValueKind>(rep_.index()); }
+  bool is_null() const { return kind() == ValueKind::kNull; }
+
+  bool bool_value() const { return std::get<bool>(rep_); }
+  int64_t int_value() const { return std::get<int64_t>(rep_); }
+  double double_value() const { return std::get<double>(rep_); }
+  const std::string& string_value() const { return std::get<std::string>(rep_); }
+
+  /// True if the kind is kInt or kDouble.
+  bool is_numeric() const {
+    return kind() == ValueKind::kInt || kind() == ValueKind::kDouble;
+  }
+  /// Numeric value widened to double; only valid when is_numeric().
+  double AsDouble() const {
+    return kind() == ValueKind::kInt ? static_cast<double>(int_value())
+                                     : double_value();
+  }
+
+  /// SQL comparison: returns kUnknown if either side is NULL, an error
+  /// status if the kinds are incomparable (e.g. INT vs STRING).
+  /// On success `*out` is <0, 0, >0.
+  static Result<TriBool> SqlEquals(const Value& a, const Value& b);
+  static Result<TriBool> SqlLess(const Value& a, const Value& b);
+  static Result<TriBool> SqlLessEquals(const Value& a, const Value& b);
+
+  /// Total order for sorting/grouping. NULL < BOOL < numeric < STRING;
+  /// NULL == NULL. Never fails: cross-kind compares order by kind.
+  static int CompareTotal(const Value& a, const Value& b);
+  /// Grouping equality: NULL equals NULL; numerics compare by value.
+  static bool EqualsGrouping(const Value& a, const Value& b) {
+    return CompareTotal(a, b) == 0;
+  }
+
+  /// Arithmetic with SQL NULL propagation and int->double promotion.
+  /// Division of two ints is integer division unless it would truncate?
+  /// No: we follow SQL and keep integer division for INT/INT.
+  static Result<Value> Add(const Value& a, const Value& b);
+  static Result<Value> Subtract(const Value& a, const Value& b);
+  static Result<Value> Multiply(const Value& a, const Value& b);
+  static Result<Value> Divide(const Value& a, const Value& b);
+  static Result<Value> Negate(const Value& a);
+
+  /// Hash consistent with EqualsGrouping (numerics hash by double value).
+  size_t Hash() const;
+
+  /// Literal-style rendering: NULL, TRUE, 42, 3.5, 'text'.
+  std::string ToString() const;
+
+  friend bool operator==(const Value& a, const Value& b) {
+    return EqualsGrouping(a, b);
+  }
+
+ private:
+  using Rep = std::variant<std::monostate, bool, int64_t, double, std::string>;
+  explicit Value(Rep rep) : rep_(std::move(rep)) {}
+
+  Rep rep_;
+};
+
+}  // namespace starmagic
+
+#endif  // STARMAGIC_COMMON_VALUE_H_

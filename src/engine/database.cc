@@ -1,0 +1,272 @@
+#include "engine/database.h"
+
+#include "common/string_util.h"
+#include "exec/eval.h"
+#include "qgm/builder.h"
+#include "qgm/printer.h"
+#include "sql/parser.h"
+
+namespace starmagic {
+
+namespace {
+
+// Quantifier id used when evaluating UPDATE/DELETE expressions against a
+// single table row (no query graph involved).
+constexpr int kDmlQuantifier = 1;
+
+// Lowers a (subquery-free) AST expression against `schema` into a QGM
+// expression whose column references target kDmlQuantifier.
+Result<ExprPtr> LowerDmlExpr(const AstExpr& e, const Schema& schema) {
+  switch (e.kind) {
+    case AstExprKind::kLiteral:
+      return Expr::MakeLiteral(static_cast<const AstLiteral&>(e).value);
+    case AstExprKind::kColumnRef: {
+      const auto& ref = static_cast<const AstColumnRef&>(e);
+      int col = schema.FindColumn(ref.column);
+      if (col < 0) {
+        return Status::SemanticError(
+            StrCat("column '", ref.column, "' does not exist"));
+      }
+      return Expr::MakeColumnRef(kDmlQuantifier, col);
+    }
+    case AstExprKind::kBinary: {
+      const auto& bin = static_cast<const AstBinary&>(e);
+      SM_ASSIGN_OR_RETURN(ExprPtr lhs, LowerDmlExpr(*bin.lhs, schema));
+      SM_ASSIGN_OR_RETURN(ExprPtr rhs, LowerDmlExpr(*bin.rhs, schema));
+      return Expr::MakeBinary(bin.op, std::move(lhs), std::move(rhs));
+    }
+    case AstExprKind::kUnary: {
+      const auto& un = static_cast<const AstUnary&>(e);
+      SM_ASSIGN_OR_RETURN(ExprPtr operand, LowerDmlExpr(*un.operand, schema));
+      return Expr::MakeUnary(un.op, std::move(operand));
+    }
+    case AstExprKind::kIsNull: {
+      const auto& isn = static_cast<const AstIsNull&>(e);
+      SM_ASSIGN_OR_RETURN(ExprPtr operand, LowerDmlExpr(*isn.operand, schema));
+      return Expr::MakeIsNull(std::move(operand), isn.negated);
+    }
+    case AstExprKind::kLike: {
+      const auto& like = static_cast<const AstLike&>(e);
+      SM_ASSIGN_OR_RETURN(ExprPtr operand, LowerDmlExpr(*like.operand, schema));
+      return Expr::MakeLike(std::move(operand), like.pattern, like.negated);
+    }
+    case AstExprKind::kBetween: {
+      const auto& btw = static_cast<const AstBetween&>(e);
+      SM_ASSIGN_OR_RETURN(ExprPtr operand, LowerDmlExpr(*btw.operand, schema));
+      SM_ASSIGN_OR_RETURN(ExprPtr low, LowerDmlExpr(*btw.low, schema));
+      SM_ASSIGN_OR_RETURN(ExprPtr high, LowerDmlExpr(*btw.high, schema));
+      ExprPtr copy = operand->Clone();
+      ExprPtr both = Expr::MakeBinary(
+          BinaryOp::kAnd,
+          Expr::MakeBinary(BinaryOp::kGtEq, std::move(copy), std::move(low)),
+          Expr::MakeBinary(BinaryOp::kLtEq, std::move(operand),
+                           std::move(high)));
+      if (btw.negated) both = Expr::MakeUnary(UnaryOp::kNot, std::move(both));
+      return both;
+    }
+    case AstExprKind::kInList: {
+      const auto& in = static_cast<const AstInList&>(e);
+      SM_ASSIGN_OR_RETURN(ExprPtr operand, LowerDmlExpr(*in.operand, schema));
+      ExprPtr disjunction;
+      for (const AstExprPtr& item : in.list) {
+        SM_ASSIGN_OR_RETURN(ExprPtr rhs, LowerDmlExpr(*item, schema));
+        ExprPtr eq = Expr::MakeBinary(BinaryOp::kEq, operand->Clone(),
+                                      std::move(rhs));
+        disjunction = disjunction
+                          ? Expr::MakeBinary(BinaryOp::kOr,
+                                             std::move(disjunction),
+                                             std::move(eq))
+                          : std::move(eq);
+      }
+      if (in.negated) {
+        disjunction = Expr::MakeUnary(UnaryOp::kNot, std::move(disjunction));
+      }
+      return disjunction;
+    }
+    default:
+      return Status::NotSupported(
+          "subqueries and aggregates are not allowed in UPDATE/DELETE");
+  }
+}
+
+}  // namespace
+
+Status Database::Execute(const std::string& sql) {
+  SM_ASSIGN_OR_RETURN(std::unique_ptr<AstStatement> stmt, ParseStatement(sql));
+  return ExecuteStatement(*stmt);
+}
+
+Status Database::ExecuteScript(const std::string& sql) {
+  SM_ASSIGN_OR_RETURN(auto stmts, ParseScript(sql));
+  for (const auto& stmt : stmts) {
+    SM_RETURN_IF_ERROR(ExecuteStatement(*stmt));
+  }
+  return Status::OK();
+}
+
+Status Database::ExecuteStatement(const AstStatement& stmt) {
+  switch (stmt.kind) {
+    case StatementKind::kCreateTable: {
+      const auto& ct = static_cast<const AstCreateTable&>(stmt);
+      return catalog_.CreateTable(ct.name, ct.schema);
+    }
+    case StatementKind::kCreateView: {
+      const auto& cv = static_cast<const AstCreateView&>(stmt);
+      ViewDefinition view;
+      view.name = cv.name;
+      view.column_names = cv.column_names;
+      view.body_sql = cv.body_sql;
+      view.is_recursive = cv.recursive;
+      return catalog_.CreateView(std::move(view));
+    }
+    case StatementKind::kInsert: {
+      const auto& ins = static_cast<const AstInsert&>(stmt);
+      Table* table = catalog_.GetTable(ins.table);
+      if (table == nullptr) {
+        return Status::NotFound(StrCat("table '", ins.table, "' does not exist"));
+      }
+      for (const auto& row : ins.rows) {
+        SM_RETURN_IF_ERROR(table->Append(row));
+      }
+      return Status::OK();
+    }
+    case StatementKind::kUpdate: {
+      const auto& up = static_cast<const AstUpdate&>(stmt);
+      Table* table = catalog_.GetTable(up.table);
+      if (table == nullptr) {
+        return Status::NotFound(StrCat("table '", up.table, "' does not exist"));
+      }
+      const Schema& schema = table->schema();
+      std::vector<int> target_cols;
+      std::vector<ExprPtr> value_exprs;
+      for (size_t i = 0; i < up.columns.size(); ++i) {
+        int col = schema.FindColumn(up.columns[i]);
+        if (col < 0) {
+          return Status::NotFound(
+              StrCat("column '", up.columns[i], "' does not exist"));
+        }
+        target_cols.push_back(col);
+        SM_ASSIGN_OR_RETURN(ExprPtr value, LowerDmlExpr(*up.values[i], schema));
+        value_exprs.push_back(std::move(value));
+      }
+      ExprPtr where;
+      if (up.where != nullptr) {
+        SM_ASSIGN_OR_RETURN(where, LowerDmlExpr(*up.where, schema));
+      }
+      for (Row& row : table->mutable_rows()) {
+        RowEnv env;
+        env.Bind(kDmlQuantifier, &row);
+        if (where != nullptr) {
+          SM_ASSIGN_OR_RETURN(TriBool keep, EvalPredicate(*where, env));
+          if (keep != TriBool::kTrue) continue;
+        }
+        // Evaluate all new values against the pre-update row first.
+        std::vector<Value> new_values;
+        for (const ExprPtr& e : value_exprs) {
+          SM_ASSIGN_OR_RETURN(Value v, EvalScalar(*e, env));
+          if (!ValueMatchesType(v, schema.column(target_cols[new_values.size()]).type)) {
+            return Status::InvalidArgument(
+                StrCat("value ", v.ToString(), " does not match type of '",
+                       schema.column(target_cols[new_values.size()]).name, "'"));
+          }
+          new_values.push_back(std::move(v));
+        }
+        for (size_t i = 0; i < target_cols.size(); ++i) {
+          row[static_cast<size_t>(target_cols[i])] = std::move(new_values[i]);
+        }
+      }
+      return Status::OK();
+    }
+    case StatementKind::kDelete: {
+      const auto& del = static_cast<const AstDelete&>(stmt);
+      Table* table = catalog_.GetTable(del.table);
+      if (table == nullptr) {
+        return Status::NotFound(
+            StrCat("table '", del.table, "' does not exist"));
+      }
+      ExprPtr where;
+      if (del.where != nullptr) {
+        SM_ASSIGN_OR_RETURN(where, LowerDmlExpr(*del.where, table->schema()));
+      }
+      auto& rows = table->mutable_rows();
+      std::vector<Row> kept;
+      kept.reserve(rows.size());
+      for (Row& row : rows) {
+        bool remove = true;
+        if (where != nullptr) {
+          RowEnv env;
+          env.Bind(kDmlQuantifier, &row);
+          SM_ASSIGN_OR_RETURN(TriBool match, EvalPredicate(*where, env));
+          remove = match == TriBool::kTrue;
+        }
+        if (!remove) kept.push_back(std::move(row));
+      }
+      rows = std::move(kept);
+      return Status::OK();
+    }
+    case StatementKind::kDropTable:
+      return catalog_.DropTable(static_cast<const AstDrop&>(stmt).name);
+    case StatementKind::kDropView:
+      return catalog_.DropView(static_cast<const AstDrop&>(stmt).name);
+    case StatementKind::kAnalyze: {
+      const auto& an = static_cast<const AstAnalyze&>(stmt);
+      return an.table.empty() ? catalog_.AnalyzeAll()
+                              : catalog_.AnalyzeTable(an.table);
+    }
+    case StatementKind::kSelect:
+      return Status::InvalidArgument(
+          "SELECT statements must be run through Query()");
+  }
+  return Status::Internal("unhandled statement kind");
+}
+
+Status Database::SetPrimaryKey(const std::string& table,
+                               const std::vector<std::string>& columns) {
+  Table* t = catalog_.GetTable(table);
+  if (t == nullptr) {
+    return Status::NotFound(StrCat("table '", table, "' does not exist"));
+  }
+  std::vector<int> key;
+  for (const std::string& col : columns) {
+    int idx = t->schema().FindColumn(col);
+    if (idx < 0) {
+      return Status::NotFound(
+          StrCat("column '", col, "' does not exist in '", table, "'"));
+    }
+    key.push_back(idx);
+  }
+  t->SetPrimaryKey(std::move(key));
+  return Status::OK();
+}
+
+Result<PipelineResult> Database::Explain(const std::string& sql,
+                                         const QueryOptions& options) {
+  SM_ASSIGN_OR_RETURN(std::unique_ptr<AstBlob> blob, ParseQuery(sql));
+  QgmBuilder builder(&catalog_);
+  SM_ASSIGN_OR_RETURN(std::unique_ptr<QueryGraph> graph, builder.Build(*blob));
+  PipelineOptions popts = options.pipeline;
+  popts.strategy = options.strategy;
+  return OptimizeQuery(std::move(graph), &catalog_, popts);
+}
+
+Result<QueryResult> Database::Query(const std::string& sql,
+                                    const QueryOptions& options) {
+  SM_ASSIGN_OR_RETURN(PipelineResult pipeline, Explain(sql, options));
+
+  ExecOptions exec_options;
+  exec_options.memoize_correlation =
+      options.strategy != ExecutionStrategy::kCorrelated;
+  Executor executor(pipeline.graph.get(), &catalog_, exec_options);
+  SM_ASSIGN_OR_RETURN(Table table, executor.Run());
+
+  QueryResult result{std::move(table), executor.stats(),
+                     pipeline.cost_no_emst, pipeline.cost_with_emst,
+                     pipeline.emst_chosen, pipeline.rewrite_applications,
+                     ""};
+  if (options.capture_plan_report) {
+    result.plan_report = PrintGraph(*pipeline.graph);
+  }
+  return result;
+}
+
+}  // namespace starmagic

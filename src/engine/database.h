@@ -1,0 +1,85 @@
+#ifndef STARMAGIC_ENGINE_DATABASE_H_
+#define STARMAGIC_ENGINE_DATABASE_H_
+
+#include <memory>
+#include <string>
+
+#include "catalog/catalog.h"
+#include "exec/executor.h"
+#include "optimizer/pipeline.h"
+
+namespace starmagic {
+
+/// Options for one query execution.
+struct QueryOptions {
+  ExecutionStrategy strategy = ExecutionStrategy::kMagic;
+  PipelineOptions pipeline;  ///< strategy field is overwritten from above
+  /// Skip optimization-time cost comparison and rewriting diagnostics.
+  bool capture_plan_report = false;
+
+  QueryOptions() = default;
+  explicit QueryOptions(ExecutionStrategy s) : strategy(s) {}
+};
+
+/// Everything a query run produces: the result table, optimizer
+/// diagnostics, and the executor's deterministic work counters.
+struct QueryResult {
+  Table table;
+  ExecStats exec_stats;
+  double cost_no_emst = 0;
+  double cost_with_emst = 0;
+  bool emst_chosen = false;
+  int rewrite_applications = 0;
+  std::string plan_report;  ///< PrintGraph of the executed graph (optional)
+};
+
+/// The public facade: an embedded relational engine with the Starburst
+/// EMST pipeline.
+///
+///   Database db;
+///   db.Execute("CREATE TABLE emp (empno INTEGER, salary DOUBLE)");
+///   db.Execute("INSERT INTO emp VALUES (1, 100.0)");
+///   auto result = db.Query("SELECT * FROM emp",
+///                          QueryOptions(ExecutionStrategy::kMagic));
+class Database {
+ public:
+  Database() = default;
+  Database(const Database&) = delete;
+  Database& operator=(const Database&) = delete;
+
+  /// Executes a DDL/DML statement (CREATE TABLE/VIEW, INSERT, DROP,
+  /// ANALYZE). SELECT statements are rejected — use Query.
+  Status Execute(const std::string& sql);
+
+  /// Executes a script of ';'-separated statements.
+  Status ExecuteScript(const std::string& sql);
+
+  /// Parses, optimizes (per the strategy), and runs a query.
+  Result<QueryResult> Query(const std::string& sql,
+                            const QueryOptions& options = QueryOptions());
+
+  /// Optimizes without executing; returns the pipeline diagnostics plus the
+  /// final graph (for tests and the Figure 4 bench).
+  Result<PipelineResult> Explain(const std::string& sql,
+                                 const QueryOptions& options = QueryOptions());
+
+  /// Declares the primary key of a table (enables duplicate-freeness
+  /// inference). Columns are names.
+  Status SetPrimaryKey(const std::string& table,
+                       const std::vector<std::string>& columns);
+
+  /// Recomputes optimizer statistics for all tables.
+  Status AnalyzeAll() { return catalog_.AnalyzeAll(); }
+
+  Catalog* catalog() { return &catalog_; }
+  const Catalog* catalog() const { return &catalog_; }
+
+ private:
+  Status ExecuteStatement(const AstStatement& stmt);
+
+  Catalog catalog_;
+};
+
+}  // namespace starmagic
+
+#endif  // STARMAGIC_ENGINE_DATABASE_H_

@@ -1,0 +1,166 @@
+#include "exec/eval.h"
+
+#include "common/string_util.h"
+
+namespace starmagic {
+
+namespace {
+
+Value TriToValue(TriBool t) {
+  switch (t) {
+    case TriBool::kTrue:
+      return Value::Bool(true);
+    case TriBool::kFalse:
+      return Value::Bool(false);
+    case TriBool::kUnknown:
+      return Value::Null();
+  }
+  return Value::Null();
+}
+
+Result<TriBool> ValueToTri(const Value& v) {
+  if (v.is_null()) return TriBool::kUnknown;
+  if (v.kind() == ValueKind::kBool) {
+    return v.bool_value() ? TriBool::kTrue : TriBool::kFalse;
+  }
+  return Status::ExecutionError(
+      StrCat("predicate evaluated to non-boolean ", v.ToString()));
+}
+
+}  // namespace
+
+bool LikeMatch(const std::string& text, const std::string& pattern) {
+  // Iterative two-pointer match with backtracking on the last '%'.
+  size_t t = 0, p = 0;
+  size_t star_p = std::string::npos, star_t = 0;
+  while (t < text.size()) {
+    if (p < pattern.size() &&
+        (pattern[p] == '_' || pattern[p] == text[t])) {
+      ++t;
+      ++p;
+    } else if (p < pattern.size() && pattern[p] == '%') {
+      star_p = p++;
+      star_t = t;
+    } else if (star_p != std::string::npos) {
+      p = star_p + 1;
+      t = ++star_t;
+    } else {
+      return false;
+    }
+  }
+  while (p < pattern.size() && pattern[p] == '%') ++p;
+  return p == pattern.size();
+}
+
+Result<Value> EvalScalar(const Expr& expr, const RowEnv& env) {
+  switch (expr.kind) {
+    case ExprKind::kLiteral:
+      return expr.literal;
+    case ExprKind::kColumnRef: {
+      const Row* row = env.Lookup(expr.quantifier_id);
+      if (row == nullptr) {
+        return Status::ExecutionError(
+            StrCat("unbound quantifier q", expr.quantifier_id,
+                   " in expression"));
+      }
+      if (expr.column_index < 0 ||
+          expr.column_index >= static_cast<int>(row->size())) {
+        return Status::ExecutionError(
+            StrCat("column ", expr.column_index, " out of range for q",
+                   expr.quantifier_id));
+      }
+      return (*row)[static_cast<size_t>(expr.column_index)];
+    }
+    case ExprKind::kBinary: {
+      switch (expr.bin_op) {
+        case BinaryOp::kAnd:
+        case BinaryOp::kOr: {
+          SM_ASSIGN_OR_RETURN(TriBool a, EvalPredicate(*expr.children[0], env));
+          // Short circuit where the result is decided.
+          if (expr.bin_op == BinaryOp::kAnd && a == TriBool::kFalse) {
+            return Value::Bool(false);
+          }
+          if (expr.bin_op == BinaryOp::kOr && a == TriBool::kTrue) {
+            return Value::Bool(true);
+          }
+          SM_ASSIGN_OR_RETURN(TriBool b, EvalPredicate(*expr.children[1], env));
+          return TriToValue(expr.bin_op == BinaryOp::kAnd ? TriAnd(a, b)
+                                                          : TriOr(a, b));
+        }
+        default:
+          break;
+      }
+      SM_ASSIGN_OR_RETURN(Value l, EvalScalar(*expr.children[0], env));
+      SM_ASSIGN_OR_RETURN(Value r, EvalScalar(*expr.children[1], env));
+      switch (expr.bin_op) {
+        case BinaryOp::kAdd:
+          return Value::Add(l, r);
+        case BinaryOp::kSub:
+          return Value::Subtract(l, r);
+        case BinaryOp::kMul:
+          return Value::Multiply(l, r);
+        case BinaryOp::kDiv:
+          return Value::Divide(l, r);
+        case BinaryOp::kEq: {
+          SM_ASSIGN_OR_RETURN(TriBool t, Value::SqlEquals(l, r));
+          return TriToValue(t);
+        }
+        case BinaryOp::kNeq: {
+          SM_ASSIGN_OR_RETURN(TriBool t, Value::SqlEquals(l, r));
+          return TriToValue(TriNot(t));
+        }
+        case BinaryOp::kLt: {
+          SM_ASSIGN_OR_RETURN(TriBool t, Value::SqlLess(l, r));
+          return TriToValue(t);
+        }
+        case BinaryOp::kLtEq: {
+          SM_ASSIGN_OR_RETURN(TriBool t, Value::SqlLessEquals(l, r));
+          return TriToValue(t);
+        }
+        case BinaryOp::kGt: {
+          SM_ASSIGN_OR_RETURN(TriBool t, Value::SqlLess(r, l));
+          return TriToValue(t);
+        }
+        case BinaryOp::kGtEq: {
+          SM_ASSIGN_OR_RETURN(TriBool t, Value::SqlLessEquals(r, l));
+          return TriToValue(t);
+        }
+        default:
+          return Status::Internal("unhandled binary operator");
+      }
+    }
+    case ExprKind::kUnary: {
+      if (expr.un_op == UnaryOp::kNeg) {
+        SM_ASSIGN_OR_RETURN(Value v, EvalScalar(*expr.children[0], env));
+        return Value::Negate(v);
+      }
+      SM_ASSIGN_OR_RETURN(TriBool t, EvalPredicate(*expr.children[0], env));
+      return TriToValue(TriNot(t));
+    }
+    case ExprKind::kIsNull: {
+      SM_ASSIGN_OR_RETURN(Value v, EvalScalar(*expr.children[0], env));
+      bool isnull = v.is_null();
+      return Value::Bool(expr.negated ? !isnull : isnull);
+    }
+    case ExprKind::kLike: {
+      SM_ASSIGN_OR_RETURN(Value v, EvalScalar(*expr.children[0], env));
+      if (v.is_null()) return Value::Null();
+      if (v.kind() != ValueKind::kString) {
+        return Status::ExecutionError("LIKE requires a string operand");
+      }
+      bool m = LikeMatch(v.string_value(), expr.like_pattern);
+      return Value::Bool(expr.negated ? !m : m);
+    }
+    case ExprKind::kAggregate:
+      return Status::Internal(
+          "aggregate expression evaluated outside a groupby box");
+  }
+  return Status::Internal("unhandled expression kind");
+}
+
+Result<TriBool> EvalPredicate(const Expr& expr, const RowEnv& env) {
+  SM_ASSIGN_OR_RETURN(Value v, EvalScalar(expr, env));
+  return ValueToTri(v);
+}
+
+}  // namespace starmagic

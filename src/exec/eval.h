@@ -1,0 +1,49 @@
+#ifndef STARMAGIC_EXEC_EVAL_H_
+#define STARMAGIC_EXEC_EVAL_H_
+
+#include <map>
+
+#include "common/row.h"
+#include "common/status.h"
+#include "qgm/expr.h"
+
+namespace starmagic {
+
+/// Binding environment for expression evaluation: maps quantifier ids to
+/// the current row of the quantifier's input. Environments layer: a box
+/// evaluated under correlation sees its own bindings plus the outer ones.
+class RowEnv {
+ public:
+  RowEnv() = default;
+  explicit RowEnv(const RowEnv* parent) : parent_(parent) {}
+
+  void Bind(int quantifier_id, const Row* row) {
+    bindings_[quantifier_id] = row;
+  }
+  void Unbind(int quantifier_id) { bindings_.erase(quantifier_id); }
+
+  /// The bound row for `quantifier_id`, or nullptr.
+  const Row* Lookup(int quantifier_id) const {
+    auto it = bindings_.find(quantifier_id);
+    if (it != bindings_.end()) return it->second;
+    return parent_ != nullptr ? parent_->Lookup(quantifier_id) : nullptr;
+  }
+
+ private:
+  const RowEnv* parent_ = nullptr;
+  std::map<int, const Row*> bindings_;
+};
+
+/// Evaluates an expression to a value. Comparisons yield BOOLEAN or NULL
+/// (three-valued logic); unresolvable column references are errors.
+Result<Value> EvalScalar(const Expr& expr, const RowEnv& env);
+
+/// Evaluates a predicate to a TriBool (rows qualify only on kTrue).
+Result<TriBool> EvalPredicate(const Expr& expr, const RowEnv& env);
+
+/// SQL LIKE matching ('%' = any sequence, '_' = any single character).
+bool LikeMatch(const std::string& text, const std::string& pattern);
+
+}  // namespace starmagic
+
+#endif  // STARMAGIC_EXEC_EVAL_H_

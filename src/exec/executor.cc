@@ -1,0 +1,912 @@
+#include "exec/executor.h"
+
+#include <algorithm>
+#include <functional>
+
+#include "common/string_util.h"
+#include "exec/aggregate.h"
+#include "exec/join.h"
+
+namespace starmagic {
+
+std::string ExecStats::ToString() const {
+  return StrCat("scanned=", rows_scanned, " produced=", rows_produced,
+                " probes=", join_probes, " evals=", box_evaluations,
+                " fixpoint_iters=", fixpoint_iterations,
+                " work=", TotalWork());
+}
+
+Executor::Executor(QueryGraph* graph, const Catalog* catalog,
+                   ExecOptions options)
+    : graph_(graph), catalog_(catalog), options_(options) {
+  index_cache_ = options_.shared_index_cache != nullptr
+                     ? options_.shared_index_cache.get()
+                     : &owned_index_cache_;
+  strata_ = graph_->ComputeStrata();
+  for (int box_id : strata_.recursive_boxes) {
+    scc_members_[strata_.scc_id[box_id]].push_back(box_id);
+  }
+}
+
+namespace {
+
+// Infers a display type for each output column from the first non-null
+// value (results are dynamically typed internally).
+Schema InferSchema(const Box& box, const std::vector<Row>& rows) {
+  Schema schema;
+  for (int c = 0; c < box.NumOutputs(); ++c) {
+    ColumnType type = ColumnType::kInt;
+    for (const Row& row : rows) {
+      const Value& v = row[static_cast<size_t>(c)];
+      if (v.is_null()) continue;
+      switch (v.kind()) {
+        case ValueKind::kBool:
+          type = ColumnType::kBool;
+          break;
+        case ValueKind::kInt:
+          type = ColumnType::kInt;
+          break;
+        case ValueKind::kDouble:
+          type = ColumnType::kDouble;
+          break;
+        case ValueKind::kString:
+          type = ColumnType::kString;
+          break;
+        default:
+          break;
+      }
+      break;
+    }
+    schema.AddColumn({box.outputs()[static_cast<size_t>(c)].name, type});
+  }
+  return schema;
+}
+
+}  // namespace
+
+Result<Table> Executor::Run() {
+  Box* top = graph_->top();
+  if (top == nullptr) return Status::Internal("query graph has no top box");
+  RowEnv env;
+  Table scratch;
+  SM_ASSIGN_OR_RETURN(const Table* result, EvalBox(top, env, &scratch));
+  std::vector<Row> rows = result->rows();
+  if (!graph_->order_by.empty()) {
+    std::stable_sort(rows.begin(), rows.end(),
+                     [this](const Row& a, const Row& b) {
+                       for (const OrderSpec& spec : graph_->order_by) {
+                         int c = Value::CompareTotal(
+                             a[static_cast<size_t>(spec.column)],
+                             b[static_cast<size_t>(spec.column)]);
+                         if (c != 0) return spec.ascending ? c < 0 : c > 0;
+                       }
+                       return false;
+                     });
+  }
+  if (graph_->limit.has_value() &&
+      static_cast<int64_t>(rows.size()) > *graph_->limit) {
+    rows.resize(static_cast<size_t>(*graph_->limit));
+  }
+  Table out("", InferSchema(*top, rows));
+  out.mutable_rows() = std::move(rows);
+  return out;
+}
+
+const std::vector<std::pair<int, int>>& Executor::ExternalRefs(Box* box) {
+  auto it = ext_refs_.find(box->id());
+  if (it != ext_refs_.end()) return it->second;
+
+  std::set<int> subtree_qids;
+  std::set<int> seen;
+  std::vector<Box*> stack{box};
+  std::vector<Box*> subtree;
+  while (!stack.empty()) {
+    Box* b = stack.back();
+    stack.pop_back();
+    if (!seen.insert(b->id()).second) continue;
+    subtree.push_back(b);
+    for (const auto& q : b->quantifiers()) {
+      subtree_qids.insert(q->id);
+      if (q->input != nullptr) stack.push_back(q->input);
+    }
+  }
+  std::set<std::pair<int, int>> pairs;
+  for (Box* b : subtree) {
+    auto scan = [&](const Expr& e) {
+      e.Visit([&](const Expr& node) {
+        if (node.kind == ExprKind::kColumnRef && node.quantifier_id >= 0 &&
+            !subtree_qids.count(node.quantifier_id)) {
+          pairs.emplace(node.quantifier_id, node.column_index);
+        }
+      });
+    };
+    for (const ExprPtr& p : b->predicates()) scan(*p);
+    for (const OutputColumn& out : b->outputs()) {
+      if (out.expr != nullptr) scan(*out.expr);
+    }
+  }
+  return ext_refs_
+      .emplace(box->id(),
+               std::vector<std::pair<int, int>>(pairs.begin(), pairs.end()))
+      .first->second;
+}
+
+Result<Row> Executor::BindingKey(Box* box, const RowEnv& env) {
+  Row key;
+  for (const auto& [qid, col] : ExternalRefs(box)) {
+    const Row* row = env.Lookup(qid);
+    if (row == nullptr) {
+      return Status::Internal(
+          StrCat("correlated box ", box->DebugId(), " evaluated without a ",
+                 "binding for q", qid));
+    }
+    key.push_back((*row)[static_cast<size_t>(col)]);
+  }
+  return key;
+}
+
+Result<const Table*> Executor::EvalBox(Box* box, const RowEnv& env,
+                                       Table* scratch) {
+  // Recursive components are evaluated as one fixpoint.
+  if (strata_.recursive_boxes.count(box->id())) {
+    int scc = strata_.scc_id[box->id()];
+    if (scc == scc_in_progress_id_ && scc_in_progress_ != nullptr) {
+      return &scc_in_progress_->at(box->id());
+    }
+    SM_RETURN_IF_ERROR(EnsureSccEvaluated(scc));
+    return &cache_.at(box->id());
+  }
+
+  if (box->kind() == BoxKind::kBaseTable) {
+    const Table* table = catalog_->GetTable(box->table_name());
+    if (table == nullptr) {
+      return Status::ExecutionError(
+          StrCat("stored table '", box->table_name(), "' does not exist"));
+    }
+    return table;
+  }
+
+  SM_ASSIGN_OR_RETURN(Row key, BindingKey(box, env));
+  if (key.empty()) {
+    auto it = cache_.find(box->id());
+    if (it != cache_.end()) return &it->second;
+    SM_ASSIGN_OR_RETURN(Table result, ComputeBox(box, env));
+    return &cache_.emplace(box->id(), std::move(result)).first->second;
+  }
+  if (options_.memoize_correlation) {
+    auto& per_box = corr_cache_[box->id()];
+    auto it = per_box.find(key);
+    if (it != per_box.end()) return &it->second;
+    SM_ASSIGN_OR_RETURN(Table result, ComputeBox(box, env));
+    return &per_box.emplace(std::move(key), std::move(result)).first->second;
+  }
+  SM_ASSIGN_OR_RETURN(Table result, ComputeBox(box, env));
+  *scratch = std::move(result);
+  return scratch;
+}
+
+Result<Table> Executor::ComputeBox(Box* box, const RowEnv& env) {
+  ++stats_.box_evaluations;
+  switch (box->kind()) {
+    case BoxKind::kSelect:
+      return ComputeSelect(box, env);
+    case BoxKind::kGroupBy:
+      return ComputeGroupBy(box, env);
+    case BoxKind::kSetOp:
+      return ComputeSetOp(box, env);
+    case BoxKind::kCustom:
+      return ComputeCustom(box, env);
+    case BoxKind::kBaseTable:
+      return Status::Internal("base tables are evaluated in EvalBox");
+  }
+  return Status::Internal("unhandled box kind");
+}
+
+const JoinHashTable* Executor::BaseTableIndex(
+    const Table* table, const std::string& table_key,
+    const std::vector<int>& key_columns) {
+  std::string key = ToLower(table_key);
+  for (int c : key_columns) key += StrCat("#", c);
+  auto it = index_cache_->find(key);
+  if (it != index_cache_->end()) return it->second.get();
+  auto index = std::make_unique<JoinHashTable>();
+  index->Reserve(static_cast<size_t>(table->num_rows()));
+  const auto& rows = table->rows();
+  for (size_t ri = 0; ri < rows.size(); ++ri) {
+    Row keyrow;
+    keyrow.reserve(key_columns.size());
+    for (int c : key_columns) keyrow.push_back(rows[ri][static_cast<size_t>(c)]);
+    index->Insert(std::move(keyrow), static_cast<int>(ri));
+  }
+  return index_cache_->emplace(key, std::move(index)).first->second.get();
+}
+
+// ---------------------------------------------------------------------------
+// Select boxes: left-deep (hash) joins + E/A/Scalar quantifiers
+// ---------------------------------------------------------------------------
+
+Result<Table> Executor::ComputeSelect(Box* box, const RowEnv& env) {
+  std::vector<Quantifier*> forder = OrderedForEachQuantifiers(box);
+
+  std::set<int> own_qids;
+  std::set<int> ea_ids;
+  std::vector<Quantifier*> scalar_qs;
+  std::vector<Quantifier*> ea_qs;
+  for (const auto& q : box->quantifiers()) {
+    own_qids.insert(q->id);
+    if (q->type == QuantifierType::kExistential ||
+        q->type == QuantifierType::kAll) {
+      ea_ids.insert(q->id);
+      ea_qs.push_back(q.get());
+    } else if (q->type == QuantifierType::kScalar) {
+      scalar_qs.push_back(q.get());
+    }
+  }
+
+  // Predicate bookkeeping: a predicate is handled in the E/A phase when it
+  // references an E/A quantifier; otherwise it fires as soon as the box
+  // quantifiers it references are all bound.
+  struct PredState {
+    const Expr* expr;
+    bool applied = false;
+    bool ea_phase = false;
+    std::set<int> own_refs;
+  };
+  std::vector<PredState> preds;
+  for (const ExprPtr& p : box->predicates()) {
+    PredState st;
+    st.expr = p.get();
+    for (int rid : p->ReferencedQuantifiers()) {
+      if (own_qids.count(rid)) st.own_refs.insert(rid);
+      if (ea_ids.count(rid)) st.ea_phase = true;
+    }
+    preds.push_back(std::move(st));
+  }
+
+  // Intermediate result: one entry per joined row combination, storing the
+  // source row of each bound ForEach quantifier. Rows from per-binding
+  // (non-cached) evaluations are copied into `arena` for stable pointers.
+  std::deque<Row> arena;
+  std::vector<std::vector<const Row*>> current;
+  current.emplace_back();
+  std::vector<int> bound;  // quantifier ids, parallel to entries' positions
+
+  std::set<int> seen;  // bound quantifier ids available to predicates
+
+  // Hoist scalar subqueries that do not depend on this box's quantifiers:
+  // their value is fixed for the whole evaluation (grounded condition
+  // bounds from magic, uncorrelated scalar comparisons), so predicates
+  // over them can filter during the joins below.
+  RowEnv box_env(&env);
+  std::deque<Row> hoisted_rows;
+  std::vector<Quantifier*> per_row_scalars;
+  for (Quantifier* q : scalar_qs) {
+    bool depends_on_box = false;
+    for (const auto& [rid, col] : ExternalRefs(q->input)) {
+      if (own_qids.count(rid)) {
+        depends_on_box = true;
+        break;
+      }
+    }
+    if (depends_on_box) {
+      per_row_scalars.push_back(q);
+      continue;
+    }
+    Table hoist_scratch;
+    SM_ASSIGN_OR_RETURN(const Table* t,
+                        EvalBox(q->input, box_env, &hoist_scratch));
+    stats_.rows_scanned += t->num_rows();
+    if (t->num_rows() > 1) {
+      return Status::ExecutionError(
+          StrCat("scalar subquery '", q->input->label(),
+                 "' returned more than one row"));
+    }
+    hoisted_rows.push_back(
+        t->num_rows() == 1
+            ? t->rows()[0]
+            : Row(static_cast<size_t>(q->input->NumOutputs()), Value::Null()));
+    box_env.Bind(q->id, &hoisted_rows.back());
+    seen.insert(q->id);
+  }
+  auto ready_unapplied = [&](std::vector<const Expr*>* out) {
+    for (PredState& st : preds) {
+      if (st.applied || st.ea_phase) continue;
+      bool ready = true;
+      for (int rid : st.own_refs) {
+        if (!seen.count(rid)) {
+          ready = false;
+          break;
+        }
+      }
+      if (ready) {
+        st.applied = true;
+        out->push_back(st.expr);
+      }
+    }
+  };
+
+  for (Quantifier* q : forder) {
+    // Correlated input: its subtree references quantifiers of this box.
+    bool correlated_here = false;
+    for (const auto& [rid, col] : ExternalRefs(q->input)) {
+      if (own_qids.count(rid)) {
+        if (!seen.count(rid)) {
+          return Status::Internal(
+              StrCat("join order binds q", q->id, " before its correlation ",
+                     "source q", rid, " in ", box->DebugId()));
+        }
+        correlated_here = true;
+      }
+    }
+
+    seen.insert(q->id);
+    std::vector<const Expr*> filters;
+    ready_unapplied(&filters);
+
+    // Split the filters into hash-joinable equalities and residuals.
+    struct HashPred {
+      const Expr* own_side;    ///< column of q
+      const Expr* other_side;  ///< expression over earlier quantifiers
+    };
+    std::vector<HashPred> hash_preds;
+    std::vector<const Expr*> residual;
+    for (const Expr* f : filters) {
+      ColumnComparison cc;
+      bool hashable = false;
+      if (MatchColumnComparisonFor(*f, q->id, &cc) && cc.op == BinaryOp::kEq) {
+        hashable = true;
+        for (int rid : cc.other->ReferencedQuantifiers()) {
+          if (rid == q->id ||
+              (own_qids.count(rid) && rid != q->id && !seen.count(rid))) {
+            hashable = false;
+            break;
+          }
+        }
+        if (hashable) hash_preds.push_back(HashPred{cc.column, cc.other});
+      }
+      if (!hashable) residual.push_back(f);
+    }
+
+    // Probe-one-combo helper shared by the hash paths.
+    auto probe_matches =
+        [&](const std::vector<const Row*>& combo, RowEnv* inner,
+            const JoinHashTable& table,
+            const std::function<const Row*(int)>& row_at,
+            std::vector<std::vector<const Row*>>* next) -> Status {
+      Row key;
+      key.reserve(hash_preds.size());
+      for (const HashPred& hp : hash_preds) {
+        SM_ASSIGN_OR_RETURN(Value v, EvalScalar(*hp.other_side, *inner));
+        key.push_back(std::move(v));
+      }
+      ++stats_.join_probes;
+      const std::vector<int>* matches = table.Probe(key);
+      if (matches == nullptr) return Status::OK();
+      for (int ri : *matches) {
+        const Row* row = row_at(ri);
+        ++stats_.rows_scanned;
+        inner->Bind(q->id, row);
+        bool keep = true;
+        for (const Expr* f : residual) {
+          SM_ASSIGN_OR_RETURN(TriBool v, EvalPredicate(*f, *inner));
+          if (v != TriBool::kTrue) {
+            keep = false;
+            break;
+          }
+        }
+        if (keep) {
+          auto combo2 = combo;
+          combo2.push_back(row);
+          next->push_back(std::move(combo2));
+          if (static_cast<int64_t>(next->size()) > options_.max_rows_per_box) {
+            return Status::ExecutionError("row limit exceeded during join");
+          }
+        }
+      }
+      inner->Unbind(q->id);
+      return Status::OK();
+    };
+
+    std::vector<std::vector<const Row*>> next;
+    if (!correlated_here && !hash_preds.empty() &&
+        q->input->kind() == BoxKind::kBaseTable) {
+      // Indexed access path: probe a persistent hash index on the stored
+      // table instead of scanning it.
+      const Table* table = catalog_->GetTable(q->input->table_name());
+      if (table == nullptr) {
+        return Status::ExecutionError(
+            StrCat("stored table '", q->input->table_name(), "' missing"));
+      }
+      std::vector<int> key_cols;
+      for (const HashPred& hp : hash_preds) {
+        key_cols.push_back(hp.own_side->column_index);
+      }
+      const JoinHashTable* index =
+          BaseTableIndex(table, q->input->table_name(), key_cols);
+      auto row_at = [table](int ri) {
+        return &table->rows()[static_cast<size_t>(ri)];
+      };
+      for (const auto& combo : current) {
+        RowEnv inner(&box_env);
+        for (size_t i = 0; i < bound.size(); ++i) inner.Bind(bound[i], combo[i]);
+        SM_RETURN_IF_ERROR(probe_matches(combo, &inner, *index, row_at, &next));
+      }
+    } else if (correlated_here) {
+      // Nested-loop: evaluate the input once per current combination.
+      Table scratch;
+      for (const auto& combo : current) {
+        RowEnv inner(&box_env);
+        for (size_t i = 0; i < bound.size(); ++i) {
+          inner.Bind(bound[i], combo[i]);
+        }
+        SM_ASSIGN_OR_RETURN(const Table* t, EvalBox(q->input, inner, &scratch));
+        stats_.rows_scanned += t->num_rows();
+        for (const Row& row : t->rows()) {
+          inner.Bind(q->id, &row);
+          bool keep = true;
+          for (const Expr* f : filters) {
+            ++stats_.join_probes;
+            SM_ASSIGN_OR_RETURN(TriBool v, EvalPredicate(*f, inner));
+            if (v != TriBool::kTrue) {
+              keep = false;
+              break;
+            }
+          }
+          if (!keep) continue;
+          arena.push_back(row);
+          auto combo2 = combo;
+          combo2.push_back(&arena.back());
+          next.push_back(std::move(combo2));
+          if (static_cast<int64_t>(next.size()) > options_.max_rows_per_box) {
+            return Status::ExecutionError("row limit exceeded during join");
+          }
+        }
+        inner.Unbind(q->id);
+      }
+    } else {
+      Table scratch;
+      SM_ASSIGN_OR_RETURN(const Table* t, EvalBox(q->input, box_env, &scratch));
+      std::vector<const Row*> input_rows;
+      if (t == &scratch) {
+        // Non-memoized storage would not outlive this step; copy the rows
+        // into the arena for stable pointers.
+        for (const Row& row : scratch.rows()) arena.push_back(row);
+        auto it = arena.end() - scratch.num_rows();
+        for (; it != arena.end(); ++it) input_rows.push_back(&*it);
+      } else {
+        input_rows.reserve(static_cast<size_t>(t->num_rows()));
+        for (const Row& row : t->rows()) input_rows.push_back(&row);
+      }
+      stats_.rows_scanned += static_cast<int64_t>(input_rows.size());
+
+      if (!hash_preds.empty()) {
+        JoinHashTable table;
+        table.Reserve(input_rows.size());
+        for (size_t ri = 0; ri < input_rows.size(); ++ri) {
+          Row key;
+          key.reserve(hash_preds.size());
+          for (const HashPred& hp : hash_preds) {
+            key.push_back(
+                (*input_rows[ri])[static_cast<size_t>(hp.own_side->column_index)]);
+          }
+          table.Insert(std::move(key), static_cast<int>(ri));
+        }
+        auto row_at = [&input_rows](int ri) {
+          return input_rows[static_cast<size_t>(ri)];
+        };
+        for (const auto& combo : current) {
+          RowEnv inner(&box_env);
+          for (size_t i = 0; i < bound.size(); ++i) inner.Bind(bound[i], combo[i]);
+          SM_RETURN_IF_ERROR(probe_matches(combo, &inner, table, row_at, &next));
+        }
+      } else {
+        // Nested loop with all filters (filter-only steps and joins with
+        // no usable equality).
+        for (const auto& combo : current) {
+          RowEnv inner(&box_env);
+          for (size_t i = 0; i < bound.size(); ++i) inner.Bind(bound[i], combo[i]);
+          for (const Row* row : input_rows) {
+            inner.Bind(q->id, row);
+            ++stats_.join_probes;
+            bool keep = true;
+            for (const Expr* f : filters) {
+              SM_ASSIGN_OR_RETURN(TriBool v, EvalPredicate(*f, inner));
+              if (v != TriBool::kTrue) {
+                keep = false;
+                break;
+              }
+            }
+            if (keep) {
+              auto combo2 = combo;
+              combo2.push_back(row);
+              next.push_back(std::move(combo2));
+              if (static_cast<int64_t>(next.size()) >
+                  options_.max_rows_per_box) {
+                return Status::ExecutionError("row limit exceeded during join");
+              }
+            }
+          }
+          inner.Unbind(q->id);
+        }
+      }
+    }
+    bound.push_back(q->id);
+    current = std::move(next);
+  }
+
+  // Per-combination phase: scalar subqueries, E/A quantifiers, residual
+  // predicates, projection.
+  Table out(box->label(), Schema{});
+  std::vector<Row> produced;
+  for (const auto& combo : current) {
+    RowEnv rowenv(&box_env);
+    for (size_t i = 0; i < bound.size(); ++i) rowenv.Bind(bound[i], combo[i]);
+
+    // Remaining (correlated) scalar quantifiers, declaration order.
+    std::vector<Row> scalar_rows(per_row_scalars.size());
+    bool row_ok = true;
+    for (size_t si = 0; si < per_row_scalars.size(); ++si) {
+      Quantifier* q = per_row_scalars[si];
+      Table scratch;
+      SM_ASSIGN_OR_RETURN(const Table* t, EvalBox(q->input, rowenv, &scratch));
+      stats_.rows_scanned += t->num_rows();
+      if (t->num_rows() > 1) {
+        return Status::ExecutionError(
+            StrCat("scalar subquery '", q->input->label(),
+                   "' returned more than one row"));
+      }
+      scalar_rows[si] =
+          t->num_rows() == 1
+              ? t->rows()[0]
+              : Row(static_cast<size_t>(q->input->NumOutputs()), Value::Null());
+      rowenv.Bind(q->id, &scalar_rows[si]);
+      seen.insert(q->id);
+    }
+
+    // E / A quantifiers.
+    for (Quantifier* q : ea_qs) {
+      std::vector<const Expr*> qpreds;
+      for (PredState& st : preds) {
+        if (st.ea_phase && st.expr->References(q->id)) qpreds.push_back(st.expr);
+      }
+      Table scratch;
+      SM_ASSIGN_OR_RETURN(const Table* t, EvalBox(q->input, rowenv, &scratch));
+      stats_.rows_scanned += t->num_rows();
+      if (q->type == QuantifierType::kAll && q->requires_empty) {
+        if (t->num_rows() != 0) {
+          row_ok = false;
+          break;
+        }
+        continue;
+      }
+      if (q->type == QuantifierType::kExistential) {
+        bool found = qpreds.empty() ? t->num_rows() > 0 : false;
+        for (const Row& srow : t->rows()) {
+          if (found) break;
+          rowenv.Bind(q->id, &srow);
+          bool all_true = true;
+          for (const Expr* p : qpreds) {
+            ++stats_.join_probes;
+            SM_ASSIGN_OR_RETURN(TriBool v, EvalPredicate(*p, rowenv));
+            if (v != TriBool::kTrue) {
+              all_true = false;
+              break;
+            }
+          }
+          if (all_true) found = true;
+        }
+        rowenv.Unbind(q->id);
+        if (!found) {
+          row_ok = false;
+          break;
+        }
+      } else {  // kAll: predicates must hold for every input row
+        bool all_rows_true = true;
+        for (const Row& srow : t->rows()) {
+          rowenv.Bind(q->id, &srow);
+          for (const Expr* p : qpreds) {
+            ++stats_.join_probes;
+            SM_ASSIGN_OR_RETURN(TriBool v, EvalPredicate(*p, rowenv));
+            if (v != TriBool::kTrue) {
+              all_rows_true = false;
+              break;
+            }
+          }
+          if (!all_rows_true) break;
+        }
+        rowenv.Unbind(q->id);
+        if (!all_rows_true) {
+          row_ok = false;
+          break;
+        }
+      }
+    }
+    if (!row_ok) continue;
+
+    // Residual predicates (e.g. involving scalar results).
+    bool keep = true;
+    for (PredState& st : preds) {
+      if (st.applied || st.ea_phase) continue;
+      SM_ASSIGN_OR_RETURN(TriBool v, EvalPredicate(*st.expr, rowenv));
+      if (v != TriBool::kTrue) {
+        keep = false;
+        break;
+      }
+    }
+    if (!keep) continue;
+
+    Row out_row;
+    out_row.reserve(box->outputs().size());
+    for (const OutputColumn& col : box->outputs()) {
+      if (col.expr == nullptr) {
+        return Status::Internal(
+            StrCat("select box ", box->DebugId(), " output '", col.name,
+                   "' has no expression"));
+      }
+      SM_ASSIGN_OR_RETURN(Value v, EvalScalar(*col.expr, rowenv));
+      out_row.push_back(std::move(v));
+    }
+    produced.push_back(std::move(out_row));
+    if (static_cast<int64_t>(produced.size()) > options_.max_rows_per_box) {
+      return Status::ExecutionError("row limit exceeded during projection");
+    }
+  }
+
+  if (box->enforce_distinct()) {
+    std::unordered_map<Row, bool, RowHash, RowEq> dedup;
+    std::vector<Row> unique;
+    unique.reserve(produced.size());
+    for (Row& row : produced) {
+      if (dedup.emplace(row, true).second) unique.push_back(std::move(row));
+    }
+    produced = std::move(unique);
+  }
+  stats_.rows_produced += static_cast<int64_t>(produced.size());
+  out.mutable_rows() = std::move(produced);
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// GroupBy boxes: hash aggregation
+// ---------------------------------------------------------------------------
+
+Result<Table> Executor::ComputeGroupBy(Box* box, const RowEnv& env) {
+  Quantifier* q = box->quantifiers()[0].get();
+  Table scratch;
+  SM_ASSIGN_OR_RETURN(const Table* input, EvalBox(q->input, env, &scratch));
+  stats_.rows_scanned += input->num_rows();
+
+  int nkeys = box->num_group_keys();
+  int nout = box->NumOutputs();
+
+  struct Group {
+    Row key;
+    std::vector<Accumulator> accs;
+  };
+  std::unordered_map<Row, Group, RowHash, RowEq> groups;
+
+  auto make_accs = [&]() {
+    std::vector<Accumulator> accs;
+    for (int c = nkeys; c < nout; ++c) {
+      const Expr* agg = box->outputs()[static_cast<size_t>(c)].expr.get();
+      accs.emplace_back(agg->agg_func, agg->agg_distinct);
+    }
+    return accs;
+  };
+  if (nkeys == 0) {
+    // Global aggregate: exactly one group, even over empty input.
+    Group g;
+    g.accs = make_accs();
+    groups.emplace(Row{}, std::move(g));
+  }
+
+  RowEnv rowenv(&env);
+  for (const Row& row : input->rows()) {
+    rowenv.Bind(q->id, &row);
+    Row key;
+    key.reserve(static_cast<size_t>(nkeys));
+    for (int c = 0; c < nkeys; ++c) {
+      SM_ASSIGN_OR_RETURN(
+          Value v, EvalScalar(*box->outputs()[static_cast<size_t>(c)].expr,
+                              rowenv));
+      key.push_back(std::move(v));
+    }
+    auto it = groups.find(key);
+    if (it == groups.end()) {
+      Group g;
+      g.key = key;
+      g.accs = make_accs();
+      it = groups.emplace(std::move(key), std::move(g)).first;
+      it->second.key = it->first;
+    }
+    for (int c = nkeys; c < nout; ++c) {
+      const Expr* agg = box->outputs()[static_cast<size_t>(c)].expr.get();
+      Value v = Value::Int(1);  // COUNT(*) input placeholder
+      if (!agg->children.empty()) {
+        SM_ASSIGN_OR_RETURN(v, EvalScalar(*agg->children[0], rowenv));
+      }
+      SM_RETURN_IF_ERROR(it->second.accs[static_cast<size_t>(c - nkeys)].Add(v));
+    }
+  }
+
+  Table out(box->label(), Schema{});
+  for (auto& [key, group] : groups) {
+    Row row;
+    row.reserve(static_cast<size_t>(nout));
+    for (const Value& v : key) row.push_back(v);
+    for (Accumulator& acc : group.accs) row.push_back(acc.Finish());
+    out.AppendUnchecked(std::move(row));
+  }
+  stats_.rows_produced += out.num_rows();
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Set operations (set semantics unless UNION ALL)
+// ---------------------------------------------------------------------------
+
+Result<Table> Executor::ComputeSetOp(Box* box, const RowEnv& env) {
+  std::vector<Table> scratches(box->quantifiers().size());
+  std::vector<const Table*> inputs;
+  for (size_t i = 0; i < box->quantifiers().size(); ++i) {
+    SM_ASSIGN_OR_RETURN(
+        const Table* t,
+        EvalBox(box->quantifiers()[i]->input, env, &scratches[i]));
+    stats_.rows_scanned += t->num_rows();
+    inputs.push_back(t);
+  }
+  Table out(box->label(), Schema{});
+  switch (box->set_op()) {
+    case SetOpKind::kUnion: {
+      if (box->enforce_distinct()) {
+        std::unordered_map<Row, bool, RowHash, RowEq> seen_rows;
+        for (const Table* t : inputs) {
+          for (const Row& row : t->rows()) {
+            if (seen_rows.emplace(row, true).second) out.AppendUnchecked(row);
+          }
+        }
+      } else {
+        for (const Table* t : inputs) {
+          for (const Row& row : t->rows()) out.AppendUnchecked(row);
+        }
+      }
+      break;
+    }
+    case SetOpKind::kIntersect: {
+      std::unordered_map<Row, int, RowHash, RowEq> counts;
+      for (const Row& row : inputs[0]->rows()) counts.emplace(row, 1);
+      for (size_t i = 1; i < inputs.size(); ++i) {
+        for (const Row& row : inputs[i]->rows()) {
+          auto it = counts.find(row);
+          if (it != counts.end() && it->second == static_cast<int>(i)) {
+            it->second = static_cast<int>(i) + 1;
+          }
+        }
+      }
+      for (const auto& [row, count] : counts) {
+        if (count == static_cast<int>(inputs.size())) out.AppendUnchecked(row);
+      }
+      break;
+    }
+    case SetOpKind::kExcept: {
+      std::unordered_map<Row, bool, RowHash, RowEq> removed;
+      for (size_t i = 1; i < inputs.size(); ++i) {
+        for (const Row& row : inputs[i]->rows()) removed.emplace(row, true);
+      }
+      std::unordered_map<Row, bool, RowHash, RowEq> emitted;
+      for (const Row& row : inputs[0]->rows()) {
+        if (removed.count(row)) continue;
+        if (emitted.emplace(row, true).second) out.AppendUnchecked(row);
+      }
+      break;
+    }
+  }
+  stats_.rows_produced += out.num_rows();
+  return out;
+}
+
+Result<Table> Executor::ComputeCustom(Box* box, const RowEnv& env) {
+  const OperationTraits* traits = box->traits();
+  if (traits == nullptr || traits->evaluate == nullptr) {
+    return Status::NotSupported(
+        StrCat("operation '", box->op_name(), "' has no registered evaluator"));
+  }
+  std::vector<Table> scratches(box->quantifiers().size());
+  std::vector<const Table*> inputs;
+  for (size_t i = 0; i < box->quantifiers().size(); ++i) {
+    SM_ASSIGN_OR_RETURN(
+        const Table* t,
+        EvalBox(box->quantifiers()[i]->input, env, &scratches[i]));
+    stats_.rows_scanned += t->num_rows();
+    inputs.push_back(t);
+  }
+  SM_ASSIGN_OR_RETURN(Table out, traits->evaluate(*box, inputs));
+  stats_.rows_produced += out.num_rows();
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Recursive components: stratified fixpoint
+// ---------------------------------------------------------------------------
+
+Status Executor::EnsureSccEvaluated(int scc_id) {
+  if (scc_done_.count(scc_id)) return Status::OK();
+  const std::vector<int>& members = scc_members_[scc_id];
+
+  // Stratification / monotonicity checks.
+  for (int bid : members) {
+    Box* b = graph_->GetBox(bid);
+    if (b == nullptr) continue;
+    if (b->kind() == BoxKind::kGroupBy) {
+      return Status::NotSupported(
+          "aggregation through recursion is not stratified");
+    }
+    if (b->kind() == BoxKind::kSetOp && b->set_op() != SetOpKind::kUnion) {
+      return Status::NotSupported(
+          "EXCEPT/INTERSECT through recursion is not stratified");
+    }
+    if (b->kind() == BoxKind::kSetOp && !b->enforce_distinct()) {
+      return Status::NotSupported(
+          "recursive UNION ALL does not terminate; use UNION");
+    }
+    if (!ExternalRefs(b).empty()) {
+      return Status::NotSupported("correlated recursion is not supported");
+    }
+    for (const auto& q : b->quantifiers()) {
+      if (q->type != QuantifierType::kForEach && q->input != nullptr &&
+          strata_.scc_id.count(q->input->id()) &&
+          strata_.scc_id[q->input->id()] == scc_id) {
+        return Status::NotSupported(
+            "negation/aggregation over the recursive relation is not "
+            "stratified");
+      }
+    }
+  }
+
+  // Naive fixpoint: iterate until every member's row count is stable. All
+  // operations inside an SCC are monotone (joins and distinct unions), so
+  // stable counts imply stable contents.
+  std::map<int, Table> state;
+  for (int bid : members) {
+    state.emplace(bid, Table(graph_->GetBox(bid)->label(), Schema{}));
+  }
+  RowEnv env;
+  const std::map<int, Table>* prev_in_progress = scc_in_progress_;
+  int prev_id = scc_in_progress_id_;
+  scc_in_progress_ = &state;
+  scc_in_progress_id_ = scc_id;
+
+  bool changed = true;
+  int iterations = 0;
+  std::vector<int> ordered = members;
+  std::sort(ordered.begin(), ordered.end());
+  while (changed) {
+    changed = false;
+    if (++iterations > options_.max_fixpoint_iterations) {
+      scc_in_progress_ = prev_in_progress;
+      scc_in_progress_id_ = prev_id;
+      return Status::ExecutionError("recursive fixpoint did not converge");
+    }
+    ++stats_.fixpoint_iterations;
+    for (int bid : ordered) {
+      Box* b = graph_->GetBox(bid);
+      Result<Table> next = ComputeBox(b, env);
+      if (!next.ok()) {
+        scc_in_progress_ = prev_in_progress;
+        scc_in_progress_id_ = prev_id;
+        return next.status();
+      }
+      if (next->num_rows() != state.at(bid).num_rows()) changed = true;
+      state.at(bid) = std::move(*next);
+    }
+  }
+  scc_in_progress_ = prev_in_progress;
+  scc_in_progress_id_ = prev_id;
+  for (int bid : ordered) {
+    cache_.emplace(bid, std::move(state.at(bid)));
+  }
+  scc_done_.insert(scc_id);
+  return Status::OK();
+}
+
+}  // namespace starmagic

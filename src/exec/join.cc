@@ -1,0 +1,20 @@
+#include "exec/join.h"
+
+namespace starmagic {
+
+void JoinHashTable::Insert(Row key, int row_index) {
+  for (const Value& v : key) {
+    if (v.is_null()) return;
+  }
+  map_[std::move(key)].push_back(row_index);
+}
+
+const std::vector<int>* JoinHashTable::Probe(const Row& key) const {
+  for (const Value& v : key) {
+    if (v.is_null()) return nullptr;
+  }
+  auto it = map_.find(key);
+  return it == map_.end() ? nullptr : &it->second;
+}
+
+}  // namespace starmagic

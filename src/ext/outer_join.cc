@@ -1,0 +1,83 @@
+#include "ext/outer_join.h"
+
+#include "exec/join.h"
+
+namespace starmagic::ext {
+
+namespace {
+
+Result<Table> EvaluateLeftOuterJoin(const Box& box,
+                                    const std::vector<const Table*>& inputs) {
+  if (inputs.size() != 2) {
+    return Status::ExecutionError("LEFTOUTERJOIN needs exactly two inputs");
+  }
+  const Table& outer = *inputs[0];
+  const Table& inner = *inputs[1];
+  // Computed tables may carry no schema; the input boxes are the source of
+  // truth for arities (needed to pad unmatched rows).
+  int inner_arity = box.quantifiers()[1]->input->NumOutputs();
+
+  JoinHashTable index;
+  index.Reserve(static_cast<size_t>(inner.num_rows()));
+  for (size_t i = 0; i < inner.rows().size(); ++i) {
+    index.Insert({inner.rows()[i][0]}, static_cast<int>(i));
+  }
+  Table out(box.label(), Schema{});
+  for (const Row& orow : outer.rows()) {
+    const std::vector<int>* matches = index.Probe({orow[0]});
+    if (matches == nullptr || matches->empty()) {
+      Row row = orow;
+      for (int c = 0; c < inner_arity; ++c) row.push_back(Value::Null());
+      out.AppendUnchecked(std::move(row));
+      continue;
+    }
+    for (int m : *matches) {
+      Row row = orow;
+      for (const Value& v : inner.rows()[static_cast<size_t>(m)]) {
+        row.push_back(v);
+      }
+      out.AppendUnchecked(std::move(row));
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+void RegisterLeftOuterJoin() {
+  OperationTraits traits;
+  traits.name = kOpLeftOuterJoin;
+  traits.accepts_magic_quantifier = false;  // NMQ
+  traits.map_output_column = [](const Box& box, int out_col, int input_idx) {
+    // Outer-side output columns map into the outer input (index 0);
+    // inner-side columns are opaque (restricting the inner input would
+    // change the NULL padding).
+    if (input_idx != 0) return -1;
+    const Box* outer = box.quantifiers().empty()
+                           ? nullptr
+                           : box.quantifiers()[0]->input;
+    if (outer == nullptr) return -1;
+    return out_col < outer->NumOutputs() ? out_col : -1;
+  };
+  traits.evaluate = EvaluateLeftOuterJoin;
+  OperationRegistry::Instance().Register(std::move(traits));
+}
+
+Box* MakeLeftOuterJoinBox(QueryGraph* graph, Box* outer, Box* inner,
+                          const std::string& label) {
+  RegisterLeftOuterJoin();
+  Box* box = graph->NewCustomBox(kOpLeftOuterJoin, label);
+  graph->NewQuantifier(box, QuantifierType::kForEach, outer, "o");
+  graph->NewQuantifier(box, QuantifierType::kForEach, inner, "i");
+  for (const OutputColumn& col : outer->outputs()) {
+    box->AddOutput(col.name, nullptr);
+  }
+  for (const OutputColumn& col : inner->outputs()) {
+    std::string name = col.name;
+    if (box->FindOutput(name) >= 0) name = "i_" + name;
+    box->AddOutput(name, nullptr);
+  }
+  return box;
+}
+
+}  // namespace starmagic::ext

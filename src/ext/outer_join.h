@@ -1,0 +1,35 @@
+#ifndef STARMAGIC_EXT_OUTER_JOIN_H_
+#define STARMAGIC_EXT_OUTER_JOIN_H_
+
+#include "qgm/graph.h"
+
+namespace starmagic::ext {
+
+/// Name of the left-outer-join operation registered by
+/// RegisterLeftOuterJoin().
+inline constexpr char kOpLeftOuterJoin[] = "LEFTOUTERJOIN";
+
+/// Registers the left-outer-join box operation the paper suggests as the
+/// canonical customizer extension (§4: "an outer-join operation can be
+/// defined by defining an outer-join-box"; §4.3 notes a predicate on the
+/// outer table can be pushed into the inner, but not vice versa).
+///
+/// Box contract: exactly two ForEach quantifiers — outer first, inner
+/// second — equi-joined on the *first column of each input*. The output is
+/// the outer columns followed by the inner columns, with the inner side
+/// NULL-padded for unmatched outer rows.
+///
+/// Classification: NMQ (a magic quantifier cannot be joined in without
+/// disturbing the padding); pushdown maps the outer-side output columns
+/// into the outer input only — restricting the inner input would turn
+/// matched rows into padded ones.
+void RegisterLeftOuterJoin();
+
+/// Convenience constructor: builds a LEFTOUTERJOIN box over `outer` and
+/// `inner` with the documented output layout.
+Box* MakeLeftOuterJoinBox(QueryGraph* graph, Box* outer, Box* inner,
+                          const std::string& label);
+
+}  // namespace starmagic::ext
+
+#endif  // STARMAGIC_EXT_OUTER_JOIN_H_

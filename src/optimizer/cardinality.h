@@ -1,0 +1,48 @@
+#ifndef STARMAGIC_OPTIMIZER_CARDINALITY_H_
+#define STARMAGIC_OPTIMIZER_CARDINALITY_H_
+
+#include <map>
+#include <vector>
+
+#include "catalog/catalog.h"
+#include "qgm/graph.h"
+
+namespace starmagic {
+
+/// Estimated properties of a box's output.
+struct BoxEstimate {
+  double rows = 1.0;
+  std::vector<double> ndv;  ///< per output column, capped at rows
+};
+
+/// Statistics-driven cardinality estimation over QGM (System-R style
+/// selectivities). Estimates are memoized per box; cycles (recursion) fall
+/// back to a fixed guess for the in-progress box.
+class CardinalityEstimator {
+ public:
+  CardinalityEstimator(const QueryGraph* graph, const Catalog* catalog)
+      : graph_(graph), catalog_(catalog) {}
+
+  const BoxEstimate& Estimate(const Box* box);
+
+  /// Selectivity of one predicate, with column NDVs resolved through
+  /// `ndv_of(quantifier_id, column)`. Used both here and by join ordering.
+  double PredicateSelectivity(
+      const Expr& pred,
+      const std::function<double(int, int)>& ndv_of);
+
+  /// Default row count for tables without statistics.
+  static constexpr double kDefaultRows = 1000.0;
+
+ private:
+  BoxEstimate Compute(const Box* box);
+
+  const QueryGraph* graph_;
+  const Catalog* catalog_;
+  std::map<int, BoxEstimate> memo_;
+  std::set<int> in_progress_;
+};
+
+}  // namespace starmagic
+
+#endif  // STARMAGIC_OPTIMIZER_CARDINALITY_H_

@@ -1,0 +1,244 @@
+#include "optimizer/cost_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace starmagic {
+
+double CostModel::BoxCost(const Box* box, const std::vector<int>& order,
+                          double* out_rows) {
+  auto ndv_of = [this, box](int qid, int col) -> double {
+    const Quantifier* q = box->FindQuantifier(qid);
+    if (q == nullptr || q->input == nullptr) return -1;
+    const BoxEstimate& child = estimator_->Estimate(q->input);
+    if (col < 0 || col >= static_cast<int>(child.ndv.size())) return -1;
+    return child.ndv[static_cast<size_t>(col)];
+  };
+
+  switch (box->kind()) {
+    case BoxKind::kBaseTable: {
+      double rows = estimator_->Estimate(box).rows;
+      if (out_rows != nullptr) *out_rows = rows;
+      return 0.0;  // scanning is charged at the consumer
+    }
+    case BoxKind::kGroupBy: {
+      double input_rows = estimator_->Estimate(box->quantifiers()[0]->input).rows;
+      double rows = estimator_->Estimate(box).rows;
+      if (out_rows != nullptr) *out_rows = rows;
+      return input_rows + rows;  // hash-aggregate: scan input, emit groups
+    }
+    case BoxKind::kSetOp: {
+      double cost = 0;
+      for (const auto& q : box->quantifiers()) {
+        cost += estimator_->Estimate(q->input).rows;
+      }
+      if (out_rows != nullptr) *out_rows = estimator_->Estimate(box).rows;
+      return cost;
+    }
+    case BoxKind::kSelect:
+    case BoxKind::kCustom:
+      break;
+  }
+
+  // Left-deep hash-join pipeline over the ForEach quantifiers in `order`.
+  std::set<int> own;
+  for (const auto& q : box->quantifiers()) own.insert(q->id);
+  std::set<int> seen;  // quantifiers available so far
+  double rows = 1.0;
+  double cost = 0.0;
+  std::vector<const Expr*> preds;
+  for (const ExprPtr& p : box->predicates()) preds.push_back(p.get());
+  std::vector<bool> applied(preds.size(), false);
+
+  auto apply_ready_preds = [&]() {
+    for (size_t i = 0; i < preds.size(); ++i) {
+      if (applied[i]) continue;
+      bool ready = true;
+      for (int rid : preds[i]->ReferencedQuantifiers()) {
+        if (own.count(rid) && !seen.count(rid)) {
+          ready = false;
+          break;
+        }
+      }
+      if (ready) {
+        applied[i] = true;
+        rows *= estimator_->PredicateSelectivity(*preds[i], ndv_of);
+      }
+    }
+    rows = std::max(rows, 1e-3);
+  };
+
+  // Scalar subqueries independent of this box's quantifiers are bound
+  // before the joins (the executor hoists them), so predicates over them
+  // filter during the scans below.
+  for (const auto& q : box->quantifiers()) {
+    if (q->type != QuantifierType::kScalar) continue;
+    bool depends = false;
+    {
+      std::set<int> visited;
+      std::vector<const Box*> stack{q->input};
+      while (!stack.empty() && !depends) {
+        const Box* b = stack.back();
+        stack.pop_back();
+        if (b == nullptr || !visited.insert(b->id()).second) continue;
+        auto scan = [&](const Expr& e) {
+          e.Visit([&](const Expr& node) {
+            if (node.kind == ExprKind::kColumnRef && own.count(node.quantifier_id)) {
+              depends = true;
+            }
+          });
+        };
+        for (const ExprPtr& p : b->predicates()) scan(*p);
+        for (const OutputColumn& out : b->outputs()) {
+          if (out.expr != nullptr) scan(*out.expr);
+        }
+        for (const auto& cq : b->quantifiers()) stack.push_back(cq->input);
+      }
+    }
+    if (!depends) {
+      cost += estimator_->Estimate(q->input).rows;
+      seen.insert(q->id);
+    }
+  }
+  apply_ready_preds();
+
+  // True when joining `q` at this point can use an indexed access path:
+  // a stored table probed through an equality predicate whose other side
+  // is already available. The executor maintains such hash indexes, so
+  // the scan/build cost of the input is not paid.
+  auto indexable = [&](const Quantifier& q) {
+    if (q.input == nullptr || q.input->kind() != BoxKind::kBaseTable) {
+      return false;
+    }
+    if (seen.empty()) return false;  // first quantifier: plain scan
+    for (const ExprPtr& p : box->predicates()) {
+      ColumnComparison cc;
+      if (!MatchColumnComparisonFor(*p, q.id, &cc) || cc.op != BinaryOp::kEq) {
+        continue;
+      }
+      bool available = true;
+      for (int rid : cc.other->ReferencedQuantifiers()) {
+        if (own.count(rid) && !seen.count(rid)) {
+          available = false;
+          break;
+        }
+      }
+      if (available) return true;
+    }
+    return false;
+  };
+
+  auto join_step = [&](const Quantifier& q) {
+    double r = estimator_->Estimate(q.input).rows;
+    if (!indexable(q)) {
+      cost += r;  // build the hash table / scan the input
+    }
+    cost += rows;  // probe with the current intermediate result
+    rows *= r;
+    seen.insert(q.id);
+    apply_ready_preds();
+    cost += rows;  // matched / materialized intermediate
+  };
+
+  for (int qid : order) {
+    const Quantifier* q = box->FindQuantifier(qid);
+    if (q == nullptr || q->type != QuantifierType::kForEach) continue;
+    join_step(*q);
+  }
+  // Quantifiers not in `order` (e.g. when the order is stale) appended.
+  for (const auto& q : box->quantifiers()) {
+    if (q->type != QuantifierType::kForEach || seen.count(q->id)) continue;
+    join_step(*q);
+  }
+  // E / A / Scalar quantifiers: one probe per current row.
+  for (const auto& q : box->quantifiers()) {
+    if (q->type == QuantifierType::kForEach) continue;
+    if (seen.count(q->id)) continue;  // hoisted scalar, already charged
+    cost += estimator_->Estimate(q->input).rows + rows;
+    if (q->type == QuantifierType::kExistential) rows *= 0.7;
+    if (q->type == QuantifierType::kAll) rows *= 0.3;
+    seen.insert(q->id);
+    apply_ready_preds();
+  }
+  if (box->enforce_distinct()) cost += rows;
+  if (out_rows != nullptr) *out_rows = std::max(rows, 1e-3);
+  return cost;
+}
+
+double CostModel::CorrelationMultiplier(const Box* box) {
+  // Collect external references of the subtree rooted at `box`.
+  std::set<int> subtree_qids;
+  std::set<int> seen_boxes;
+  std::vector<const Box*> stack{box};
+  std::vector<const Box*> subtree;
+  while (!stack.empty()) {
+    const Box* b = stack.back();
+    stack.pop_back();
+    if (!seen_boxes.insert(b->id()).second) continue;
+    subtree.push_back(b);
+    for (const auto& q : b->quantifiers()) {
+      subtree_qids.insert(q->id);
+      if (q->input != nullptr) stack.push_back(q->input);
+    }
+  }
+  std::set<std::pair<int, int>> external;  // (qid, col)
+  for (const Box* b : subtree) {
+    auto scan = [&](const Expr& e) {
+      e.Visit([&](const Expr& node) {
+        if (node.kind == ExprKind::kColumnRef &&
+            node.quantifier_id >= 0 &&
+            !subtree_qids.count(node.quantifier_id)) {
+          external.emplace(node.quantifier_id, node.column_index);
+        }
+      });
+    };
+    for (const ExprPtr& p : b->predicates()) scan(*p);
+    for (const OutputColumn& out : b->outputs()) {
+      if (out.expr != nullptr) scan(*out.expr);
+    }
+  }
+  if (external.empty()) return 1.0;
+
+  double multiplier = 1.0;
+  if (options_.memoized_correlation) {
+    // Distinct bindings: product of the NDVs of the referenced columns.
+    for (const auto& [qid, col] : external) {
+      const Quantifier* q = graph_->GetQuantifier(qid);
+      if (q == nullptr || q->input == nullptr) continue;
+      const BoxEstimate& e = estimator_->Estimate(q->input);
+      double ndv = col < static_cast<int>(e.ndv.size())
+                       ? e.ndv[static_cast<size_t>(col)]
+                       : e.rows / 10;
+      multiplier *= std::max(1.0, ndv);
+    }
+  } else {
+    // One evaluation per outer row: product of the owning boxes' inputs.
+    std::set<int> counted;
+    for (const auto& [qid, col] : external) {
+      const Quantifier* q = graph_->GetQuantifier(qid);
+      if (q == nullptr || q->input == nullptr) continue;
+      if (!counted.insert(qid).second) continue;
+      multiplier *= std::max(1.0, estimator_->Estimate(q->input).rows);
+    }
+  }
+  return std::min(multiplier, 1e12);
+}
+
+double CostModel::GraphCost() {
+  if (graph_->top() == nullptr) return 0;
+  std::set<int> seen;
+  std::vector<const Box*> stack{graph_->top()};
+  double total = 0;
+  while (!stack.empty()) {
+    const Box* b = stack.back();
+    stack.pop_back();
+    if (!seen.insert(b->id()).second) continue;
+    total += BoxCost(b, b->join_order()) * CorrelationMultiplier(b);
+    for (const auto& q : b->quantifiers()) {
+      if (q->input != nullptr) stack.push_back(q->input);
+    }
+  }
+  return total;
+}
+
+}  // namespace starmagic

@@ -1,0 +1,48 @@
+#ifndef STARMAGIC_OPTIMIZER_COST_MODEL_H_
+#define STARMAGIC_OPTIMIZER_COST_MODEL_H_
+
+#include <vector>
+
+#include "optimizer/cardinality.h"
+
+namespace starmagic {
+
+/// Simple work-based cost model: cost counts tuples scanned, probed, and
+/// produced by left-deep hash-join pipelines, once per box evaluation;
+/// boxes whose subtree carries correlation (references to outer
+/// quantifiers) are charged once per estimated outer binding.
+class CostModel {
+ public:
+  struct Options {
+    /// Executor memoizes correlated evaluations per distinct binding
+    /// (true for the Original/Magic strategies, false for Correlated).
+    bool memoized_correlation = true;
+  };
+
+  CostModel(const QueryGraph* graph, CardinalityEstimator* estimator)
+      : graph_(graph), estimator_(estimator) {}
+  CostModel(const QueryGraph* graph, CardinalityEstimator* estimator,
+            Options options)
+      : graph_(graph), estimator_(estimator), options_(options) {}
+
+  /// Cost of evaluating `box` once with the given ForEach join order
+  /// (quantifier ids). Also returns the output row estimate via out param.
+  double BoxCost(const Box* box, const std::vector<int>& order,
+                 double* out_rows = nullptr);
+
+  /// Cost of one full evaluation of the graph: every box reachable from
+  /// the top, weighted by its correlation multiplier.
+  double GraphCost();
+
+  /// Estimated number of times `box` is evaluated (1 when uncorrelated).
+  double CorrelationMultiplier(const Box* box);
+
+ private:
+  const QueryGraph* graph_;
+  CardinalityEstimator* estimator_;
+  Options options_;
+};
+
+}  // namespace starmagic
+
+#endif  // STARMAGIC_OPTIMIZER_COST_MODEL_H_

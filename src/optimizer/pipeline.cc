@@ -1,0 +1,215 @@
+#include "optimizer/pipeline.h"
+
+#include <limits>
+#include <set>
+
+#include "common/string_util.h"
+#include "qgm/printer.h"
+#include "rewrite/constant_folding.h"
+#include "rewrite/correlate_rule.h"
+#include "rewrite/distinct_pullup.h"
+#include "rewrite/engine.h"
+#include "rewrite/merge_rule.h"
+#include "rewrite/projection_pruning.h"
+#include "rewrite/pushdown.h"
+#include "rewrite/redundant_join.h"
+
+namespace starmagic {
+
+const char* StrategyName(ExecutionStrategy strategy) {
+  switch (strategy) {
+    case ExecutionStrategy::kOriginal:
+      return "Original";
+    case ExecutionStrategy::kCorrelated:
+      return "Correlated";
+    case ExecutionStrategy::kMagic:
+      return "EMST";
+  }
+  return "?";
+}
+
+namespace {
+
+void AddCommonRules(RewriteEngine* engine, const RewriteToggles& t) {
+  if (t.constant_folding) engine->AddRule(std::make_unique<ConstantFoldingRule>());
+  if (t.distinct_pullup) engine->AddRule(std::make_unique<DistinctPullupRule>());
+  if (t.merge) engine->AddRule(std::make_unique<MergeRule>());
+  if (t.local_pushdown) {
+    engine->AddRule(std::make_unique<LocalPredicatePushdownRule>());
+  }
+  if (t.redundant_join) engine->AddRule(std::make_unique<RedundantJoinRule>());
+  if (t.projection_pruning) {
+    engine->AddRule(std::make_unique<ProjectionPruningRule>());
+  }
+}
+
+void Snapshot(PipelineResult* result, const PipelineOptions& options,
+              const char* label, const QueryGraph& graph) {
+  if (options.capture_snapshots) {
+    result->snapshots.emplace_back(label, PrintGraph(graph));
+  }
+}
+
+CostModel::Options CostOptionsFor(ExecutionStrategy strategy) {
+  CostModel::Options opts;
+  opts.memoized_correlation = strategy != ExecutionStrategy::kCorrelated;
+  return opts;
+}
+
+// True when the subtree of `box` contains a groupby / set-op / custom box,
+// i.e. it is an "expensive view" worth restricting with magic.
+bool ContainsExpensiveView(Box* box) {
+  std::set<int> seen;
+  std::vector<Box*> stack{box};
+  while (!stack.empty()) {
+    Box* b = stack.back();
+    stack.pop_back();
+    if (!seen.insert(b->id()).second) continue;
+    if (b->kind() == BoxKind::kGroupBy || b->kind() == BoxKind::kSetOp ||
+        b->kind() == BoxKind::kCustom ||
+        (b->kind() == BoxKind::kSelect && b->enforce_distinct())) {
+      return true;
+    }
+    for (const auto& q : b->quantifiers()) {
+      if (q->input != nullptr) stack.push_back(q->input);
+    }
+  }
+  return false;
+}
+
+// Rewrites every select box's join order so quantifiers over expensive
+// views come after the restricting quantifiers (stable within each class).
+void ApplySipsFriendlyOrders(QueryGraph* graph) {
+  for (Box* box : graph->boxes()) {
+    if (box->kind() != BoxKind::kSelect && box->kind() != BoxKind::kCustom) {
+      continue;
+    }
+    std::vector<Quantifier*> order = OrderedForEachQuantifiers(box);
+    if (order.size() < 2) continue;
+    std::vector<int> cheap;
+    std::vector<int> expensive;
+    for (Quantifier* q : order) {
+      (ContainsExpensiveView(q->input) ? expensive : cheap).push_back(q->id);
+    }
+    if (cheap.empty() || expensive.empty()) continue;
+    cheap.insert(cheap.end(), expensive.begin(), expensive.end());
+    box->set_join_order(std::move(cheap));
+  }
+}
+
+}  // namespace
+
+Result<PipelineResult> OptimizeQuery(std::unique_ptr<QueryGraph> graph,
+                                     const Catalog* catalog,
+                                     const PipelineOptions& options) {
+  PipelineResult result;
+  RewriteContext ctx;
+  ctx.graph = graph.get();
+  ctx.catalog = catalog;
+
+  Snapshot(&result, options, "initial", *graph);
+
+  // ---- Phase 1: join-order-independent rewrites -----------------------------
+  {
+    RewriteEngine engine;
+    AddCommonRules(&engine, options.toggles);
+    SM_ASSIGN_OR_RETURN(int apps, engine.Run(&ctx));
+    result.rewrite_applications += apps;
+  }
+  Snapshot(&result, options, "after-phase1", *graph);
+
+  // ---- Plan optimization #1 (join orders + cost C1) --------------------------
+  PlanInfo plan1 =
+      OptimizePlan(graph.get(), catalog, CostOptionsFor(options.strategy));
+  result.cost_no_emst = plan1.total_cost;
+
+  if (options.strategy == ExecutionStrategy::kOriginal) {
+    result.graph = std::move(graph);
+    return result;
+  }
+
+  if (options.strategy == ExecutionStrategy::kCorrelated) {
+    RewriteEngine engine;
+    engine.AddRule(std::make_unique<CorrelateRule>());
+    AddCommonRules(&engine, options.toggles);
+    SM_ASSIGN_OR_RETURN(int apps, engine.Run(&ctx));
+    result.rewrite_applications += apps;
+    Snapshot(&result, options, "after-correlate", *graph);
+    PlanInfo plan2 = OptimizePlan(graph.get(), catalog,
+                                  CostOptionsFor(options.strategy));
+    result.cost_with_emst = plan2.total_cost;
+    result.graph = std::move(graph);
+    return result;
+  }
+
+  // ---- Magic: keep the no-EMST plan for the §3.2 comparison ------------------
+  std::unique_ptr<QueryGraph> no_emst = graph->Clone();
+  std::unique_ptr<QueryGraph> sips_variant;
+  if (options.try_sips_order) {
+    sips_variant = graph->Clone();
+    ApplySipsFriendlyOrders(sips_variant.get());
+  }
+
+  // Phases 2 and 3 on one candidate graph; returns the plan-2 cost.
+  auto run_emst_phases = [&](QueryGraph* g, const char* tag,
+                             bool snapshot) -> Result<double> {
+    RewriteContext phase_ctx;
+    phase_ctx.graph = g;
+    phase_ctx.catalog = catalog;
+    {
+      RewriteEngine engine;
+      engine.AddRule(std::make_unique<EmstRule>(options.emst));
+      AddCommonRules(&engine, options.toggles);
+      SM_ASSIGN_OR_RETURN(int apps, engine.Run(&phase_ctx));
+      result.rewrite_applications += apps;
+    }
+    if (snapshot) {
+      Snapshot(&result, options, StrCat("after-phase2", tag).c_str(), *g);
+    }
+    // Vestigial magic links would keep dead magic boxes alive; clear them
+    // so the cleanup merges of Example 4.1 can collect everything unused.
+    for (Box* box : g->boxes()) box->set_magic_box(nullptr);
+    g->GarbageCollect();
+    {
+      RewriteEngine engine;
+      AddCommonRules(&engine, options.toggles);
+      SM_ASSIGN_OR_RETURN(int apps, engine.Run(&phase_ctx));
+      result.rewrite_applications += apps;
+    }
+    if (snapshot) {
+      Snapshot(&result, options, StrCat("after-phase3", tag).c_str(), *g);
+    }
+    PlanInfo plan2 = OptimizePlan(g, catalog, CostOptionsFor(options.strategy));
+    return plan2.total_cost;
+  };
+
+  SM_ASSIGN_OR_RETURN(double cost_opt_order,
+                      run_emst_phases(graph.get(), "", true));
+  result.emst_applied = true;
+  double cost_sips_order = std::numeric_limits<double>::infinity();
+  if (sips_variant != nullptr) {
+    SM_ASSIGN_OR_RETURN(
+        cost_sips_order,
+        run_emst_phases(sips_variant.get(), "-sips",
+                        options.capture_snapshots));
+  }
+
+  // ---- Step 5: pick the cheapest of the candidate plans ----------------------
+  std::unique_ptr<QueryGraph>* winner = &graph;
+  result.cost_with_emst = cost_opt_order;
+  if (cost_sips_order < cost_opt_order) {
+    winner = &sips_variant;
+    result.cost_with_emst = cost_sips_order;
+  }
+  if (options.cost_compare && result.cost_no_emst < result.cost_with_emst) {
+    result.emst_chosen = false;
+    result.graph = std::move(no_emst);
+  } else {
+    result.emst_chosen = true;
+    result.graph = std::move(*winner);
+  }
+  SM_RETURN_IF_ERROR(result.graph->Validate());
+  return result;
+}
+
+}  // namespace starmagic

@@ -1,0 +1,41 @@
+#include "optimizer/plan_optimizer.h"
+
+#include "common/string_util.h"
+#include "rewrite/engine.h"
+
+namespace starmagic {
+
+std::string PlanInfo::ToString() const {
+  std::string out = StrCat("plan cost=", total_cost, "\n");
+  for (const auto& [box_id, order] : join_orders) {
+    std::vector<std::string> parts;
+    for (int qid : order) parts.push_back(StrCat("q", qid));
+    out += StrCat("  B", box_id, ": ", Join(parts, " x "), "\n");
+  }
+  return out;
+}
+
+PlanInfo OptimizePlan(QueryGraph* graph, const Catalog* catalog,
+                      CostModel::Options cost_options) {
+  PlanInfo info;
+  CardinalityEstimator estimator(graph, catalog);
+  CostModel cost_model(graph, &estimator, cost_options);
+
+  // Order children before parents so the parents' estimates see the chosen
+  // orders (ordering does not change cardinalities here, but keeps the
+  // traversal deterministic). DepthFirstBoxes is pre-order; reverse it.
+  std::vector<Box*> boxes = DepthFirstBoxes(*graph);
+  for (auto it = boxes.rbegin(); it != boxes.rend(); ++it) {
+    Box* box = *it;
+    if (box->kind() != BoxKind::kSelect && box->kind() != BoxKind::kCustom) {
+      continue;
+    }
+    JoinOrderResult chosen = ChooseJoinOrder(*graph, box, &cost_model);
+    box->set_join_order(chosen.order);
+    info.join_orders[box->id()] = chosen.order;
+  }
+  info.total_cost = cost_model.GraphCost();
+  return info;
+}
+
+}  // namespace starmagic

@@ -1,0 +1,210 @@
+#include "qgm/printer.h"
+
+#include <algorithm>
+#include <map>
+
+#include "common/string_util.h"
+
+namespace starmagic {
+
+namespace {
+
+// Produces "alias.colname" for a column reference, finding the quantifier
+// anywhere in the graph.
+std::function<std::string(int, int)> ColumnNamer(const QueryGraph& graph) {
+  return [&graph](int qid, int col) -> std::string {
+    const Quantifier* q = graph.GetQuantifier(qid);
+    if (q == nullptr) return StrCat("q", qid, ".c", col);
+    std::string colname = StrCat("c", col);
+    if (q->input != nullptr && col >= 0 && col < q->input->NumOutputs()) {
+      colname = q->input->outputs()[static_cast<size_t>(col)].name;
+    }
+    return StrCat(q->name.empty() ? StrCat("q", qid) : q->name, ".", colname);
+  };
+}
+
+std::vector<Box*> SortedBoxes(const QueryGraph& graph) {
+  std::vector<Box*> boxes = graph.boxes();
+  std::sort(boxes.begin(), boxes.end(),
+            [](const Box* a, const Box* b) { return a->id() < b->id(); });
+  return boxes;
+}
+
+}  // namespace
+
+std::string PrintGraph(const QueryGraph& graph) {
+  auto namer = ColumnNamer(graph);
+  std::string out;
+  out += StrCat("QueryGraph top=",
+                graph.top() ? graph.top()->DebugId() : "<none>", " ",
+                GraphComplexity(graph), "\n");
+  for (const Box* box : SortedBoxes(graph)) {
+    out += StrCat(box->DebugId(),
+                  box->role() == BoxRole::kRegular
+                      ? ""
+                      : StrCat(" [", BoxRoleName(box->role()), "]"),
+                  box->enforce_distinct() ? " DISTINCT" : "",
+                  box->duplicate_free() ? " dup-free" : "", "\n");
+    if (box->kind() == BoxKind::kBaseTable) {
+      out += StrCat("  table: ", box->table_name(), "\n");
+    }
+    if (box->kind() == BoxKind::kSetOp) {
+      out += StrCat("  setop: ", box->op_name(), "\n");
+    }
+    for (const auto& q : box->quantifiers()) {
+      out += StrCat("  q", q->id, " [", QuantifierTypeName(q->type),
+                    q->is_magic ? ",magic" : "",
+                    q->requires_empty ? ",anti" : "", "] ", q->name, " over ",
+                    q->input ? q->input->DebugId() : "<null>", "\n");
+    }
+    for (const ExprPtr& p : box->predicates()) {
+      out += StrCat("  pred: ", p->ToString(namer), "\n");
+    }
+    for (int i = 0; i < box->NumOutputs(); ++i) {
+      const OutputColumn& col = box->outputs()[static_cast<size_t>(i)];
+      out += StrCat("  out", i, " ", col.name,
+                    col.expr ? StrCat(" = ", col.expr->ToString(namer)) : "",
+                    box->kind() == BoxKind::kGroupBy && i < box->num_group_keys()
+                        ? " [key]"
+                        : "",
+                    "\n");
+    }
+    if (!box->join_order().empty()) {
+      std::vector<std::string> parts;
+      for (int qid : box->join_order()) parts.push_back(StrCat("q", qid));
+      out += StrCat("  join-order: ", Join(parts, " x "), "\n");
+    }
+    if (box->magic_box() != nullptr) {
+      out += StrCat("  magic-link: ", box->magic_box()->DebugId(), "\n");
+    }
+  }
+  return out;
+}
+
+std::string PrintGraphDot(const QueryGraph& graph) {
+  std::string out = "digraph qgm {\n  rankdir=BT;\n  node [shape=box];\n";
+  for (const Box* box : SortedBoxes(graph)) {
+    std::string color = "black";
+    switch (box->role()) {
+      case BoxRole::kMagic:
+        color = "blue";
+        break;
+      case BoxRole::kSupplementaryMagic:
+        color = "darkgreen";
+        break;
+      case BoxRole::kConditionMagic:
+        color = "purple";
+        break;
+      default:
+        break;
+    }
+    out += StrCat("  b", box->id(), " [label=\"", box->label(),
+                  box->adornment().empty() ? "" : StrCat("^", box->adornment()),
+                  "\\n", BoxKindName(box->kind()), "\" color=", color, "];\n");
+    for (const auto& q : box->quantifiers()) {
+      if (q->input == nullptr) continue;
+      out += StrCat("  b", q->input->id(), " -> b", box->id(), " [label=\"",
+                    q->name, "\"", q->is_magic ? " style=dashed" : "", "];\n");
+    }
+    if (box->magic_box() != nullptr) {
+      out += StrCat("  b", box->magic_box()->id(), " -> b", box->id(),
+                    " [style=dotted label=\"magic\"];\n");
+    }
+  }
+  out += "}\n";
+  return out;
+}
+
+std::string BoxToSql(const QueryGraph& graph, const Box& box) {
+  auto namer = ColumnNamer(graph);
+  std::string head = box.label();
+  if (!box.adornment().empty()) head += StrCat("^", box.adornment());
+  {
+    std::vector<std::string> cols;
+    for (const OutputColumn& out : box.outputs()) cols.push_back(out.name);
+    head += StrCat("(", Join(cols, ", "), ")");
+  }
+
+  switch (box.kind()) {
+    case BoxKind::kBaseTable:
+      return StrCat(head, " AS STORED TABLE ", box.table_name());
+    case BoxKind::kSetOp: {
+      std::vector<std::string> inputs;
+      for (const auto& q : box.quantifiers()) {
+        inputs.push_back(q->input->label());
+      }
+      const char* opname = box.set_op() == SetOpKind::kUnion
+                               ? (box.enforce_distinct() ? "UNION" : "UNION ALL")
+                               : (box.set_op() == SetOpKind::kIntersect
+                                      ? "INTERSECT"
+                                      : "EXCEPT");
+      return StrCat(head, " AS ", Join(inputs, StrCat(" ", opname, " ")));
+    }
+    case BoxKind::kGroupBy: {
+      std::vector<std::string> items;
+      for (const OutputColumn& out : box.outputs()) {
+        items.push_back(StrCat(out.expr->ToString(namer), " AS ", out.name));
+      }
+      std::vector<std::string> keys;
+      for (int i = 0; i < box.num_group_keys(); ++i) {
+        keys.push_back(box.outputs()[static_cast<size_t>(i)].expr->ToString(namer));
+      }
+      const Quantifier& q = *box.quantifiers()[0];
+      return StrCat(head, " AS SELECT ", Join(items, ", "), " FROM ",
+                    q.input->label(), " ", q.name,
+                    keys.empty() ? "" : StrCat(" GROUPBY ", Join(keys, ", ")));
+    }
+    case BoxKind::kSelect:
+    case BoxKind::kCustom: {
+      std::vector<std::string> items;
+      for (const OutputColumn& out : box.outputs()) {
+        items.push_back(out.expr == nullptr
+                            ? out.name
+                            : StrCat(out.expr->ToString(namer), " AS ", out.name));
+      }
+      std::vector<std::string> froms;
+      for (const auto& q : box.quantifiers()) {
+        std::string ref = StrCat(q->input->label(),
+                                 q->input->adornment().empty()
+                                     ? ""
+                                     : StrCat("^", q->input->adornment()),
+                                 " ", q->name);
+        if (q->type != QuantifierType::kForEach) {
+          ref = StrCat("[", QuantifierTypeName(q->type),
+                       q->requires_empty ? ":EMPTY" : "", "] ", ref);
+        }
+        froms.push_back(ref);
+      }
+      std::vector<std::string> preds;
+      for (const ExprPtr& p : box.predicates()) {
+        preds.push_back(p->ToString(namer));
+      }
+      return StrCat(head, " AS SELECT ", box.enforce_distinct() ? "DISTINCT " : "",
+                    Join(items, ", "),
+                    froms.empty() ? "" : StrCat(" FROM ", Join(froms, ", ")),
+                    preds.empty() ? "" : StrCat(" WHERE ", Join(preds, " AND ")));
+    }
+  }
+  return head;
+}
+
+std::string GraphToSql(const QueryGraph& graph) {
+  std::string out;
+  for (const Box* box : SortedBoxes(graph)) {
+    if (box->kind() == BoxKind::kBaseTable) continue;
+    out += StrCat(box == graph.top() ? "=> " : "   ", BoxToSql(graph, *box),
+                  "\n");
+  }
+  return out;
+}
+
+std::string GraphComplexity(const QueryGraph& graph) {
+  int preds = 0;
+  for (const Box* box : graph.boxes()) {
+    preds += static_cast<int>(box->predicates().size());
+  }
+  return StrCat("#boxes=", graph.NumBoxes(),
+                " #quantifiers=", graph.NumQuantifiers(), " #predicates=", preds);
+}
+
+}  // namespace starmagic

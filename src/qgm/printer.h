@@ -1,0 +1,30 @@
+#ifndef STARMAGIC_QGM_PRINTER_H_
+#define STARMAGIC_QGM_PRINTER_H_
+
+#include <string>
+
+#include "qgm/graph.h"
+
+namespace starmagic {
+
+/// Multi-line structural dump of the graph: one section per box with its
+/// role, adornment, quantifiers, predicates, and outputs. Stable ordering
+/// (box id) so tests can compare snapshots.
+std::string PrintGraph(const QueryGraph& graph);
+
+/// Graphviz DOT rendering (boxes as nodes, quantifier edges).
+std::string PrintGraphDot(const QueryGraph& graph);
+
+/// SQL-ish rendering of one box in the style of the paper's Figure 5
+/// ("name(cols) AS SELECT ... FROM ... WHERE ...").
+std::string BoxToSql(const QueryGraph& graph, const Box& box);
+
+/// SQL-ish rendering of every box, top first (like Figure 5).
+std::string GraphToSql(const QueryGraph& graph);
+
+/// One-line complexity summary: "#boxes=N #quantifiers=M #predicates=K".
+std::string GraphComplexity(const QueryGraph& graph);
+
+}  // namespace starmagic
+
+#endif  // STARMAGIC_QGM_PRINTER_H_

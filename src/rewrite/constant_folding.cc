@@ -1,0 +1,167 @@
+#include "rewrite/constant_folding.h"
+
+namespace starmagic {
+
+namespace {
+
+bool IsLiteral(const Expr& e, const Value** v) {
+  if (e.kind != ExprKind::kLiteral) return false;
+  *v = &e.literal;
+  return true;
+}
+
+// Folds one node (children already folded). Returns true if replaced.
+bool FoldNode(Expr* e) {
+  if (e->kind == ExprKind::kBinary) {
+    const Value* a = nullptr;
+    const Value* b = nullptr;
+    bool la = IsLiteral(*e->children[0], &a);
+    bool lb = IsLiteral(*e->children[1], &b);
+    // Logic simplification with one literal side.
+    if (e->bin_op == BinaryOp::kAnd || e->bin_op == BinaryOp::kOr) {
+      auto simplify_side = [&](size_t lit_idx, size_t other_idx) -> bool {
+        const Value* v = nullptr;
+        if (!IsLiteral(*e->children[lit_idx], &v)) return false;
+        if (v->kind() != ValueKind::kBool) return false;
+        bool bv = v->bool_value();
+        if ((e->bin_op == BinaryOp::kAnd && bv) ||
+            (e->bin_op == BinaryOp::kOr && !bv)) {
+          ExprPtr keep = std::move(e->children[other_idx]);
+          *e = std::move(*keep);
+          return true;
+        }
+        if ((e->bin_op == BinaryOp::kAnd && !bv) ||
+            (e->bin_op == BinaryOp::kOr && bv)) {
+          *e = std::move(*Expr::MakeLiteral(Value::Bool(bv)));
+          return true;
+        }
+        return false;
+      };
+      if (simplify_side(0, 1) || simplify_side(1, 0)) return true;
+      return false;
+    }
+    if (!la || !lb) return false;
+    Result<Value> folded = Status::OK();
+    switch (e->bin_op) {
+      case BinaryOp::kAdd:
+        folded = Value::Add(*a, *b);
+        break;
+      case BinaryOp::kSub:
+        folded = Value::Subtract(*a, *b);
+        break;
+      case BinaryOp::kMul:
+        folded = Value::Multiply(*a, *b);
+        break;
+      case BinaryOp::kDiv:
+        folded = Value::Divide(*a, *b);
+        break;
+      case BinaryOp::kEq:
+      case BinaryOp::kNeq:
+      case BinaryOp::kLt:
+      case BinaryOp::kLtEq:
+      case BinaryOp::kGt:
+      case BinaryOp::kGtEq: {
+        Result<TriBool> cmp = Status::OK();
+        switch (e->bin_op) {
+          case BinaryOp::kEq:
+            cmp = Value::SqlEquals(*a, *b);
+            break;
+          case BinaryOp::kNeq: {
+            Result<TriBool> eq = Value::SqlEquals(*a, *b);
+            if (!eq.ok()) return false;
+            cmp = TriNot(*eq);
+            break;
+          }
+          case BinaryOp::kLt:
+            cmp = Value::SqlLess(*a, *b);
+            break;
+          case BinaryOp::kLtEq:
+            cmp = Value::SqlLessEquals(*a, *b);
+            break;
+          case BinaryOp::kGt:
+            cmp = Value::SqlLess(*b, *a);
+            break;
+          default:
+            cmp = Value::SqlLessEquals(*b, *a);
+            break;
+        }
+        if (!cmp.ok()) return false;
+        if (*cmp == TriBool::kUnknown) {
+          *e = std::move(*Expr::MakeLiteral(Value::Null()));
+        } else {
+          *e = std::move(
+              *Expr::MakeLiteral(Value::Bool(*cmp == TriBool::kTrue)));
+        }
+        return true;
+      }
+      default:
+        return false;
+    }
+    if (!folded.ok()) return false;  // keep runtime error at execution time
+    *e = std::move(*Expr::MakeLiteral(std::move(*folded)));
+    return true;
+  }
+  if (e->kind == ExprKind::kUnary) {
+    const Value* v = nullptr;
+    if (!IsLiteral(*e->children[0], &v)) return false;
+    if (e->un_op == UnaryOp::kNeg) {
+      Result<Value> neg = Value::Negate(*v);
+      if (!neg.ok()) return false;
+      *e = std::move(*Expr::MakeLiteral(std::move(*neg)));
+      return true;
+    }
+    // NOT
+    if (v->is_null()) {
+      *e = std::move(*Expr::MakeLiteral(Value::Null()));
+      return true;
+    }
+    if (v->kind() == ValueKind::kBool) {
+      *e = std::move(*Expr::MakeLiteral(Value::Bool(!v->bool_value())));
+      return true;
+    }
+    return false;
+  }
+  if (e->kind == ExprKind::kIsNull) {
+    const Value* v = nullptr;
+    if (!IsLiteral(*e->children[0], &v)) return false;
+    bool isnull = v->is_null();
+    *e = std::move(*Expr::MakeLiteral(Value::Bool(e->negated ? !isnull : isnull)));
+    return true;
+  }
+  return false;
+}
+
+bool FoldTree(Expr* e) {
+  bool changed = false;
+  for (ExprPtr& c : e->children) {
+    if (FoldTree(c.get())) changed = true;
+  }
+  if (FoldNode(e)) changed = true;
+  return changed;
+}
+
+}  // namespace
+
+Result<bool> ConstantFoldingRule::Apply(RewriteContext* ctx, Box* box) {
+  (void)ctx;
+  bool changed = false;
+  auto& preds = box->mutable_predicates();
+  for (size_t i = 0; i < preds.size();) {
+    if (FoldTree(preds[i].get())) changed = true;
+    // Remove TRUE conjuncts.
+    if (preds[i]->kind == ExprKind::kLiteral &&
+        preds[i]->literal.kind() == ValueKind::kBool &&
+        preds[i]->literal.bool_value()) {
+      preds.erase(preds.begin() + static_cast<long>(i));
+      changed = true;
+      continue;
+    }
+    ++i;
+  }
+  for (OutputColumn& out : box->mutable_outputs()) {
+    if (out.expr != nullptr && FoldTree(out.expr.get())) changed = true;
+  }
+  return changed;
+}
+
+}  // namespace starmagic

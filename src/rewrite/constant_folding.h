@@ -1,0 +1,18 @@
+#ifndef STARMAGIC_REWRITE_CONSTANT_FOLDING_H_
+#define STARMAGIC_REWRITE_CONSTANT_FOLDING_H_
+
+#include "rewrite/rule.h"
+
+namespace starmagic {
+
+/// Folds literal-only subexpressions, simplifies AND/OR/NOT with literal
+/// operands, and removes predicates that reduce to TRUE.
+class ConstantFoldingRule : public RewriteRule {
+ public:
+  const char* name() const override { return "constant-folding"; }
+  Result<bool> Apply(RewriteContext* ctx, Box* box) override;
+};
+
+}  // namespace starmagic
+
+#endif  // STARMAGIC_REWRITE_CONSTANT_FOLDING_H_

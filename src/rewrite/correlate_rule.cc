@@ -1,0 +1,117 @@
+#include "rewrite/correlate_rule.h"
+
+#include <set>
+
+#include "rewrite/pushdown.h"
+
+namespace starmagic {
+
+namespace {
+
+// True if any box in the subtree rooted at `root` contains an expression
+// referencing a quantifier owned by `owner` (i.e. the subtree is already
+// correlated to `owner`).
+bool SubtreeReferencesOwner(const QueryGraph& g, Box* root, const Box* owner) {
+  std::set<int> owner_qids;
+  for (const auto& q : owner->quantifiers()) owner_qids.insert(q->id);
+  std::set<int> seen;
+  std::vector<Box*> stack{root};
+  while (!stack.empty()) {
+    Box* b = stack.back();
+    stack.pop_back();
+    if (!seen.insert(b->id()).second) continue;
+    auto check = [&owner_qids](const Expr& e) {
+      for (int qid : e.ReferencedQuantifiers()) {
+        if (owner_qids.count(qid)) return true;
+      }
+      return false;
+    };
+    for (const ExprPtr& p : b->predicates()) {
+      if (check(*p)) return true;
+    }
+    for (const OutputColumn& out : b->outputs()) {
+      if (out.expr != nullptr && check(*out.expr)) return true;
+    }
+    for (const auto& q : b->quantifiers()) {
+      if (q->input != nullptr) stack.push_back(q->input);
+    }
+  }
+  (void)g;
+  return false;
+}
+
+// Cycle guard: does `start`'s subtree contain `needle`?
+bool SubtreeContains(Box* start, const Box* needle) {
+  std::set<int> seen;
+  std::vector<Box*> stack{start};
+  while (!stack.empty()) {
+    Box* b = stack.back();
+    stack.pop_back();
+    if (b == needle) return true;
+    if (!seen.insert(b->id()).second) continue;
+    for (const auto& q : b->quantifiers()) {
+      if (q->input != nullptr) stack.push_back(q->input);
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+Result<bool> CorrelateRule::Apply(RewriteContext* ctx, Box* box) {
+  if (box->kind() != BoxKind::kSelect) return false;
+  QueryGraph* g = ctx->graph;
+
+  for (const auto& q : box->quantifiers()) {
+    if (q->type != QuantifierType::kForEach) continue;
+    Box* view = q->input;
+    if (view->kind() == BoxKind::kBaseTable) continue;
+    if (g->UsesOf(view).size() != 1) continue;
+    if (SubtreeContains(view, box)) continue;  // recursion
+    if (SubtreeReferencesOwner(*g, view, box)) continue;  // already correlated
+
+    // Join predicates on q whose other references are all *independent*
+    // quantifiers (not correlated to this box) or outer correlation refs.
+    std::vector<size_t> candidates;
+    auto& preds = box->mutable_predicates();
+    for (size_t i = 0; i < preds.size(); ++i) {
+      const Expr& p = *preds[i];
+      if (!p.References(q->id)) continue;
+      std::set<int> refs = p.ReferencedQuantifiers();
+      if (refs.size() < 2) continue;  // local predicates stay with phase 1
+      bool ok = true;
+      for (int rid : refs) {
+        if (rid == q->id) continue;
+        Quantifier* other = box->FindQuantifier(rid);
+        if (other == nullptr) continue;  // outer correlation ref: fine
+        if (other->type != QuantifierType::kForEach &&
+            other->type != QuantifierType::kScalar) {
+          ok = false;
+          break;
+        }
+        if (other->type == QuantifierType::kForEach &&
+            SubtreeReferencesOwner(*g, other->input, box)) {
+          ok = false;  // would create a correlation cycle
+          break;
+        }
+      }
+      if (!ok) continue;
+      ExprPtr tmpl = MakeTemplateForQuantifier(p, q->id);
+      if (!CanPushIntoBox(*g, *view, *tmpl)) continue;
+      candidates.push_back(i);
+    }
+    if (candidates.empty()) continue;
+
+    // Push them into the view (introducing correlation) and drop from box.
+    for (auto it = candidates.rbegin(); it != candidates.rend(); ++it) {
+      ExprPtr tmpl = MakeTemplateForQuantifier(*preds[*it], q->id);
+      SM_RETURN_IF_ERROR(PushIntoBox(g, view, *tmpl));
+      preds.erase(preds.begin() + static_cast<long>(*it));
+    }
+    box->set_join_order({});
+    return true;
+  }
+  return false;
+}
+
+}  // namespace starmagic

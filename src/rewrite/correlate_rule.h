@@ -1,0 +1,25 @@
+#ifndef STARMAGIC_REWRITE_CORRELATE_RULE_H_
+#define STARMAGIC_REWRITE_CORRELATE_RULE_H_
+
+#include "rewrite/rule.h"
+
+namespace starmagic {
+
+/// Implements the "Correlated" execution strategy of Table 1: rewrites a
+/// join between a select box and a view into correlated evaluation by
+/// moving the join predicates *into* the view box, where they reference
+/// the outer quantifiers. The executor then re-evaluates the view once per
+/// outer row — DB2-style nested iteration (Kim / Ganski-Wong style
+/// correlation), the leading pre-magic optimization for complex SQL.
+///
+/// Magic achieves the same restriction with a set-oriented magic table
+/// instead; contrasting the two is the heart of the paper's evaluation.
+class CorrelateRule : public RewriteRule {
+ public:
+  const char* name() const override { return "correlate"; }
+  Result<bool> Apply(RewriteContext* ctx, Box* box) override;
+};
+
+}  // namespace starmagic
+
+#endif  // STARMAGIC_REWRITE_CORRELATE_RULE_H_

@@ -1,0 +1,127 @@
+#include "rewrite/distinct_pullup.h"
+
+#include <algorithm>
+
+namespace starmagic {
+
+namespace {
+
+// Attempts to derive (duplicate_free, unique_key) for `box` from children.
+// Returns true if the box is duplicate-free; fills `key` when known.
+bool DeriveDuplicateFree(const Box& box, std::vector<int>* key,
+                         bool* key_known) {
+  *key_known = false;
+  switch (box.kind()) {
+    case BoxKind::kBaseTable:
+      if (box.has_unique_key()) {
+        *key = box.unique_key();
+        *key_known = true;
+        return true;
+      }
+      return false;
+    case BoxKind::kGroupBy: {
+      key->clear();
+      for (int i = 0; i < box.num_group_keys(); ++i) key->push_back(i);
+      *key_known = true;
+      return true;
+    }
+    case BoxKind::kSetOp:
+      if (box.enforce_distinct()) {
+        key->clear();
+        for (int i = 0; i < box.NumOutputs(); ++i) key->push_back(i);
+        *key_known = true;
+        return true;
+      }
+      return false;
+    case BoxKind::kSelect: {
+      // Map each ForEach input's key through the outputs.
+      std::vector<int> combined;
+      for (const auto& q : box.quantifiers()) {
+        if (q->type == QuantifierType::kExistential ||
+            q->type == QuantifierType::kAll ||
+            q->type == QuantifierType::kScalar) {
+          continue;  // never multiplies rows
+        }
+        const Box* input = q->input;
+        if (!input->duplicate_free() || !input->has_unique_key()) {
+          // Fall back: DISTINCT enforcement still makes the output dup-free.
+          if (box.enforce_distinct()) break;
+          return false;
+        }
+        for (int keycol : input->unique_key()) {
+          int out_idx = -1;
+          for (int i = 0; i < box.NumOutputs(); ++i) {
+            const Expr* e = box.outputs()[static_cast<size_t>(i)].expr.get();
+            if (e != nullptr && e->kind == ExprKind::kColumnRef &&
+                e->quantifier_id == q->id && e->column_index == keycol) {
+              out_idx = i;
+              break;
+            }
+          }
+          if (out_idx < 0) {
+            if (box.enforce_distinct()) break;
+            return false;
+          }
+          combined.push_back(out_idx);
+        }
+      }
+      if (box.enforce_distinct()) {
+        key->clear();
+        for (int i = 0; i < box.NumOutputs(); ++i) key->push_back(i);
+        *key_known = true;
+        return true;
+      }
+      std::sort(combined.begin(), combined.end());
+      combined.erase(std::unique(combined.begin(), combined.end()),
+                     combined.end());
+      *key = std::move(combined);
+      *key_known = true;
+      return true;
+    }
+    case BoxKind::kCustom:
+      return false;
+  }
+  return false;
+}
+
+}  // namespace
+
+Result<bool> DistinctPullupRule::Apply(RewriteContext* ctx, Box* box) {
+  (void)ctx;
+  bool changed = false;
+
+  std::vector<int> key;
+  bool key_known = false;
+  bool dup_free = DeriveDuplicateFree(*box, &key, &key_known);
+
+  if (dup_free && !box->duplicate_free()) {
+    box->set_duplicate_free(true);
+    changed = true;
+  }
+  if (key_known &&
+      (!box->has_unique_key() || box->unique_key() != key)) {
+    box->set_unique_key(key);
+    changed = true;
+  }
+
+  // Pull up (remove) redundant DISTINCT: if the box would be duplicate-free
+  // even without enforcement. Recompute with enforcement hypothetically off.
+  if (box->enforce_distinct() && box->kind() == BoxKind::kSelect) {
+    bool was = box->enforce_distinct();
+    box->set_enforce_distinct(false);
+    std::vector<int> key2;
+    bool key2_known = false;
+    bool dup_free_without = DeriveDuplicateFree(*box, &key2, &key2_known);
+    if (dup_free_without) {
+      // DISTINCT is a no-op; leave it off.
+      box->set_duplicate_free(true);
+      if (key2_known) box->set_unique_key(key2);
+      changed = true;
+    } else {
+      box->set_enforce_distinct(was);
+    }
+  }
+  return changed;
+}
+
+}  // namespace starmagic

@@ -1,0 +1,29 @@
+#ifndef STARMAGIC_REWRITE_DISTINCT_PULLUP_H_
+#define STARMAGIC_REWRITE_DISTINCT_PULLUP_H_
+
+#include "rewrite/rule.h"
+
+namespace starmagic {
+
+/// Derives duplicate-freeness and unique keys for a box from its inputs
+/// and, when a box enforces DISTINCT redundantly, removes the enforcement
+/// (the inference that lets phase 3 merge magic boxes away, Example 4.1).
+///
+/// Inference rules:
+///  - base table: key = catalog primary key (when declared).
+///  - groupby box: always duplicate-free; key = group keys.
+///  - distinct-enforcing box: duplicate-free; key = all outputs.
+///  - select box: if every ForEach input is duplicate-free with a known
+///    key and every input's key columns appear among the outputs as plain
+///    column references, the box is duplicate-free with the union of the
+///    mapped keys. (Filters and E/A/Scalar quantifiers never add rows.)
+///  - set ops with set semantics: duplicate-free, key = all outputs.
+class DistinctPullupRule : public RewriteRule {
+ public:
+  const char* name() const override { return "distinct-pullup"; }
+  Result<bool> Apply(RewriteContext* ctx, Box* box) override;
+};
+
+}  // namespace starmagic
+
+#endif  // STARMAGIC_REWRITE_DISTINCT_PULLUP_H_

@@ -1,0 +1,87 @@
+#include "rewrite/engine.h"
+
+#include <set>
+
+#include "common/string_util.h"
+
+namespace starmagic {
+
+std::vector<Box*> DepthFirstBoxes(const QueryGraph& graph) {
+  std::vector<Box*> order;
+  if (graph.top() == nullptr) return order;
+  std::set<int> seen;
+  std::vector<Box*> stack{graph.top()};
+  while (!stack.empty()) {
+    Box* b = stack.back();
+    stack.pop_back();
+    if (!seen.insert(b->id()).second) continue;
+    order.push_back(b);
+    // Push children in reverse so the first quantifier is visited first.
+    const auto& qs = b->quantifiers();
+    for (auto it = qs.rbegin(); it != qs.rend(); ++it) {
+      if ((*it)->input != nullptr) stack.push_back((*it)->input);
+    }
+  }
+  return order;
+}
+
+void RewriteEngine::AddRule(std::unique_ptr<RewriteRule> rule) {
+  rules_.push_back(Entry{std::move(rule), true});
+}
+
+void RewriteEngine::SetEnabled(const std::string& name, bool enabled) {
+  for (Entry& e : rules_) {
+    if (name == e.rule->name()) e.enabled = enabled;
+  }
+}
+
+bool RewriteEngine::IsEnabled(const std::string& name) const {
+  for (const Entry& e : rules_) {
+    if (name == e.rule->name()) return e.enabled;
+  }
+  return false;
+}
+
+Result<int> RewriteEngine::Run(RewriteContext* ctx) {
+  int total = 0;
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    // Snapshot the traversal; rules may mutate the graph, in which case we
+    // restart the pass (boxes may be dead).
+    std::vector<Box*> order = DepthFirstBoxes(*ctx->graph);
+    for (Box* box : order) {
+      // The box might have been GC'ed by a previous rule in this pass;
+      // verify it is still live.
+      if (ctx->graph->GetBox(box->id()) != box) {
+        changed = true;
+        break;
+      }
+      for (Entry& e : rules_) {
+        if (!e.enabled) continue;
+        SM_ASSIGN_OR_RETURN(bool fired, e.rule->Apply(ctx, box));
+        if (fired) {
+          ++total;
+          ctx->applications++;
+          if (ctx->trace != nullptr) {
+            *ctx->trace +=
+                StrCat(e.rule->name(), " fired at ", box->DebugId(), "\n");
+          }
+          if (total > max_applications_) {
+            return Status::Internal(
+                StrCat("rewrite did not converge after ", max_applications_,
+                       " rule applications"));
+          }
+          changed = true;
+        }
+        // A rule may have removed `box`; stop offering it further rules.
+        if (ctx->graph->GetBox(box->id()) != box) break;
+      }
+      if (ctx->graph->GetBox(box->id()) != box) break;
+    }
+    ctx->graph->GarbageCollect();
+  }
+  return total;
+}
+
+}  // namespace starmagic

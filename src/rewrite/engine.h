@@ -1,0 +1,49 @@
+#ifndef STARMAGIC_REWRITE_ENGINE_H_
+#define STARMAGIC_REWRITE_ENGINE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "rewrite/rule.h"
+
+namespace starmagic {
+
+/// Forward-chaining rule engine (§3.1). A cursor traverses the boxes of
+/// the query graph depth-first from the top; at each box every enabled
+/// rule is offered the box. Passes repeat until a fixpoint (no rule fires
+/// through a whole pass) or the application budget is exhausted.
+class RewriteEngine {
+ public:
+  RewriteEngine() = default;
+
+  /// Adds a rule; rules fire in the order they were added.
+  void AddRule(std::unique_ptr<RewriteRule> rule);
+
+  /// Enables/disables a rule by name (EMST is only enabled in phase 2,
+  /// §3.3). Unknown names are ignored.
+  void SetEnabled(const std::string& name, bool enabled);
+  bool IsEnabled(const std::string& name) const;
+
+  /// Runs to fixpoint. Returns the number of rule applications.
+  Result<int> Run(RewriteContext* ctx);
+
+  /// Safety budget (default 10000 applications).
+  void set_max_applications(int n) { max_applications_ = n; }
+
+ private:
+  struct Entry {
+    std::unique_ptr<RewriteRule> rule;
+    bool enabled = true;
+  };
+  std::vector<Entry> rules_;
+  int max_applications_ = 10000;
+};
+
+/// Depth-first (pre-order) box order from the top box; shared with the
+/// EMST driver which wants the same traversal.
+std::vector<Box*> DepthFirstBoxes(const QueryGraph& graph);
+
+}  // namespace starmagic
+
+#endif  // STARMAGIC_REWRITE_ENGINE_H_

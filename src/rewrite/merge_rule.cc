@@ -1,0 +1,98 @@
+#include "rewrite/merge_rule.h"
+
+namespace starmagic {
+
+Result<bool> MergeRule::Apply(RewriteContext* ctx, Box* box) {
+  if (box->kind() != BoxKind::kSelect) return false;
+  QueryGraph* g = ctx->graph;
+
+  // Find a mergeable child.
+  Quantifier* victim = nullptr;
+  for (const auto& q : box->quantifiers()) {
+    if (q->type != QuantifierType::kForEach) continue;
+    Box* child = q->input;
+    if (child->kind() != BoxKind::kSelect) continue;
+    if (g->UsesOf(child).size() != 1) continue;  // shared subexpression
+    // A duplicate-eliminating child cannot be flattened into the parent.
+    // (When the DISTINCT is provably redundant the distinct-pullup rule
+    // removes it first, which then enables this merge — Example 4.1.)
+    if (child->enforce_distinct()) continue;
+    // Self-merge / recursion guard: the child must not (transitively)
+    // reach `box`; a cheap cycle check via DFS.
+    bool reaches_parent = false;
+    {
+      std::set<int> seen;
+      std::vector<Box*> stack{child};
+      while (!stack.empty()) {
+        Box* b = stack.back();
+        stack.pop_back();
+        if (!seen.insert(b->id()).second) continue;
+        if (b == box) {
+          reaches_parent = true;
+          break;
+        }
+        for (const auto& cq : b->quantifiers()) {
+          if (cq->input != nullptr) stack.push_back(cq->input);
+        }
+      }
+    }
+    if (reaches_parent) continue;
+    victim = q.get();
+    break;
+  }
+  if (victim == nullptr) return false;
+
+  Box* child = victim->input;
+  int vid = victim->id;
+
+  // Replacement expressions for the child's output columns. Cloned up
+  // front; their quantifier references stay valid because ids survive the
+  // upcoming move.
+  std::vector<ExprPtr> replacements;
+  replacements.reserve(child->outputs().size());
+  for (const OutputColumn& out : child->outputs()) {
+    if (out.expr == nullptr) {
+      return Status::Internal("merge: child select-box output without expr");
+    }
+    replacements.push_back(out.expr->Clone());
+  }
+
+  // Move the child's quantifiers and predicates into the parent.
+  std::vector<int> moved_qids;
+  for (const auto& q : child->quantifiers()) moved_qids.push_back(q->id);
+  for (int qid : moved_qids) {
+    SM_RETURN_IF_ERROR(g->MoveQuantifier(qid, child, box));
+  }
+  for (ExprPtr& pred : child->mutable_predicates()) {
+    box->AddPredicateIfNew(std::move(pred));
+  }
+  child->mutable_predicates().clear();
+
+  // Graph-wide substitution of references to the victim quantifier: the
+  // parent's own expressions plus any correlated references from
+  // descendant boxes.
+  for (Box* b : g->boxes()) {
+    for (ExprPtr& pred : b->mutable_predicates()) {
+      for (size_t c = 0; c < replacements.size(); ++c) {
+        pred->SubstituteColumn(vid, static_cast<int>(c), *replacements[c]);
+      }
+    }
+    for (OutputColumn& out : b->mutable_outputs()) {
+      if (out.expr == nullptr) continue;
+      for (size_t c = 0; c < replacements.size(); ++c) {
+        out.expr->SubstituteColumn(vid, static_cast<int>(c), *replacements[c]);
+      }
+    }
+  }
+
+  // The quantifier set changed; any previously chosen join order is stale.
+  box->set_join_order({});
+  box->clear_unique_key();
+  box->set_duplicate_free(false);
+
+  SM_RETURN_IF_ERROR(g->RemoveQuantifier(vid));
+  g->GarbageCollect();
+  return true;
+}
+
+}  // namespace starmagic

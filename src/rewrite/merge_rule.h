@@ -1,0 +1,24 @@
+#ifndef STARMAGIC_REWRITE_MERGE_RULE_H_
+#define STARMAGIC_REWRITE_MERGE_RULE_H_
+
+#include "rewrite/rule.h"
+
+namespace starmagic {
+
+/// Merges a child select-box into a parent select-box (the QGM analog of
+/// unfolding, §3.1): the child's quantifiers and predicates move into the
+/// parent and every reference to the child's outputs is replaced by the
+/// defining expressions. Applies when the child is a select-box used only
+/// here, via a ForEach quantifier, is not recursive, and does not
+/// eliminate duplicates (redundant DISTINCTs are removed by the
+/// distinct-pullup rule first, which is what enables the phase-3 merges
+/// of Example 4.1).
+class MergeRule : public RewriteRule {
+ public:
+  const char* name() const override { return "merge"; }
+  Result<bool> Apply(RewriteContext* ctx, Box* box) override;
+};
+
+}  // namespace starmagic
+
+#endif  // STARMAGIC_REWRITE_MERGE_RULE_H_

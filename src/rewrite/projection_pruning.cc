@@ -1,0 +1,78 @@
+#include "rewrite/projection_pruning.h"
+
+#include <set>
+
+namespace starmagic {
+
+Result<bool> ProjectionPruningRule::Apply(RewriteContext* ctx, Box* box) {
+  QueryGraph* g = ctx->graph;
+  if (box == g->top()) return false;
+  if (box->kind() != BoxKind::kSelect) return false;
+  if (box->enforce_distinct()) return false;
+
+  std::vector<Quantifier*> uses = g->UsesOf(box);
+  if (uses.empty()) return false;
+  for (const Quantifier* q : uses) {
+    Box* user = g->OwnerOf(q->id);
+    if (user == nullptr || user->kind() == BoxKind::kSetOp) return false;
+  }
+
+  // Referenced columns, graph-wide (covers correlation and join orders).
+  std::set<int> used_cols;
+  std::set<int> use_ids;
+  for (const Quantifier* q : uses) use_ids.insert(q->id);
+  for (Box* b : g->boxes()) {
+    auto scan = [&](const Expr& e) {
+      e.Visit([&](const Expr& node) {
+        if (node.kind == ExprKind::kColumnRef && use_ids.count(node.quantifier_id)) {
+          used_cols.insert(node.column_index);
+        }
+      });
+    };
+    for (const ExprPtr& p : b->predicates()) scan(*p);
+    for (const OutputColumn& out : b->outputs()) {
+      if (out.expr != nullptr) scan(*out.expr);
+    }
+  }
+  if (static_cast<int>(used_cols.size()) == box->NumOutputs()) return false;
+  if (used_cols.empty()) return false;  // keep at least one column
+
+  // Keep the unique key columns alive so duplicate-freeness stays derivable.
+  if (box->has_unique_key()) {
+    for (int k : box->unique_key()) used_cols.insert(k);
+    if (static_cast<int>(used_cols.size()) == box->NumOutputs()) return false;
+  }
+
+  // Build old->new column index mapping and prune.
+  std::vector<int> remap(static_cast<size_t>(box->NumOutputs()), -1);
+  std::vector<OutputColumn> kept;
+  int next = 0;
+  for (int i = 0; i < box->NumOutputs(); ++i) {
+    if (used_cols.count(i)) {
+      remap[static_cast<size_t>(i)] = next++;
+      kept.push_back(std::move(box->mutable_outputs()[static_cast<size_t>(i)]));
+    }
+  }
+  box->mutable_outputs() = std::move(kept);
+  if (box->has_unique_key()) {
+    std::vector<int> key;
+    for (int k : box->unique_key()) key.push_back(remap[static_cast<size_t>(k)]);
+    box->set_unique_key(std::move(key));
+  }
+
+  for (Box* b : g->boxes()) {
+    auto fix = [&](int qid, int col) {
+      if (use_ids.count(qid)) {
+        return std::make_pair(qid, remap[static_cast<size_t>(col)]);
+      }
+      return std::make_pair(qid, col);
+    };
+    for (ExprPtr& p : b->mutable_predicates()) p->RemapColumns(fix);
+    for (OutputColumn& out : b->mutable_outputs()) {
+      if (out.expr != nullptr) out.expr->RemapColumns(fix);
+    }
+  }
+  return true;
+}
+
+}  // namespace starmagic

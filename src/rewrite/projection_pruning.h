@@ -1,0 +1,21 @@
+#ifndef STARMAGIC_REWRITE_PROJECTION_PRUNING_H_
+#define STARMAGIC_REWRITE_PROJECTION_PRUNING_H_
+
+#include "rewrite/rule.h"
+
+namespace starmagic {
+
+/// Drops output columns of select boxes that no user references (§3.1
+/// "pushing projections down"). Conservative: never prunes the top box,
+/// shared boxes used by set-ops (positional), distinct-enforcing boxes
+/// (column set changes the dedup key), groupby boxes (keys define the
+/// grouping), or base tables.
+class ProjectionPruningRule : public RewriteRule {
+ public:
+  const char* name() const override { return "projection-pruning"; }
+  Result<bool> Apply(RewriteContext* ctx, Box* box) override;
+};
+
+}  // namespace starmagic
+
+#endif  // STARMAGIC_REWRITE_PROJECTION_PRUNING_H_

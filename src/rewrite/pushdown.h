@@ -1,0 +1,47 @@
+#ifndef STARMAGIC_REWRITE_PUSHDOWN_H_
+#define STARMAGIC_REWRITE_PUSHDOWN_H_
+
+#include "rewrite/rule.h"
+
+namespace starmagic {
+
+/// Sentinel quantifier id used in *predicate templates*: a column
+/// reference with quantifier_id == kTargetOutputs denotes output column
+/// `column_index` of the box the template is being pushed into. All other
+/// column references are outer (correlation) references kept verbatim.
+inline constexpr int kTargetOutputs = -2;
+
+/// Rewrites `pred` (owned by the box holding quantifier `qid`) into a
+/// template over the outputs of the box `qid` ranges over: references to
+/// `qid` become kTargetOutputs references; everything else is preserved.
+ExprPtr MakeTemplateForQuantifier(const Expr& pred, int qid);
+
+/// True if the template predicate can be pushed into `box` (recursively:
+/// select boxes absorb it; groupby boxes route group-key-only predicates
+/// into their input; set-ops route into every branch; custom operations
+/// route via their registered column mapping; base tables refuse).
+/// Boxes with more than one use refuse (the caller will remove the
+/// predicate from the parent, which must not affect other users).
+bool CanPushIntoBox(const QueryGraph& graph, const Box& box, const Expr& pred);
+
+/// Performs the push. Callers must have checked CanPushIntoBox.
+Status PushIntoBox(QueryGraph* graph, Box* box, const Expr& pred);
+
+/// Instantiates a template against `box`'s outputs *in place at the
+/// caller's level*: kTargetOutputs column c is replaced by a clone of
+/// box->outputs()[c].expr. Only meaningful for boxes whose outputs carry
+/// expressions (select/groupby). Used by EMST when wiring magic joins.
+Result<ExprPtr> InstantiateTemplate(const Expr& pred, const Box& box);
+
+/// The phase-1 rule ("local magic", §3.3): moves single-quantifier
+/// conjuncts of a select box into the referenced box when the target
+/// accepts them. Replaces traditional predicate pushdown.
+class LocalPredicatePushdownRule : public RewriteRule {
+ public:
+  const char* name() const override { return "local-pushdown"; }
+  Result<bool> Apply(RewriteContext* ctx, Box* box) override;
+};
+
+}  // namespace starmagic
+
+#endif  // STARMAGIC_REWRITE_PUSHDOWN_H_

@@ -1,0 +1,105 @@
+#include "rewrite/redundant_join.h"
+
+#include <set>
+
+namespace starmagic {
+
+Result<bool> RedundantJoinRule::Apply(RewriteContext* ctx, Box* box) {
+  if (box->kind() != BoxKind::kSelect) return false;
+  QueryGraph* g = ctx->graph;
+
+  const auto& qs = box->quantifiers();
+  for (size_t i = 0; i < qs.size(); ++i) {
+    for (size_t j = 0; j < qs.size(); ++j) {
+      if (i == j) continue;
+      Quantifier* keep = qs[i].get();
+      Quantifier* drop = qs[j].get();
+      if (keep->type != QuantifierType::kForEach ||
+          drop->type != QuantifierType::kForEach) {
+        continue;
+      }
+      if (keep->input != drop->input) continue;
+      const Box* input = keep->input;
+      if (!input->duplicate_free() || !input->has_unique_key() ||
+          input->unique_key().empty()) {
+        continue;
+      }
+      // Check key-covering equality predicates keep.k == drop.k.
+      std::set<int> equated;
+      for (const ExprPtr& p : box->predicates()) {
+        if (p->kind != ExprKind::kBinary || p->bin_op != BinaryOp::kEq) {
+          continue;
+        }
+        const Expr* l = p->children[0].get();
+        const Expr* r = p->children[1].get();
+        if (l->kind != ExprKind::kColumnRef || r->kind != ExprKind::kColumnRef) {
+          continue;
+        }
+        if (l->column_index != r->column_index) continue;
+        bool match = (l->quantifier_id == keep->id &&
+                      r->quantifier_id == drop->id) ||
+                     (l->quantifier_id == drop->id &&
+                      r->quantifier_id == keep->id);
+        if (match) equated.insert(l->column_index);
+      }
+      bool covers = true;
+      for (int k : input->unique_key()) {
+        if (!equated.count(k)) {
+          covers = false;
+          break;
+        }
+      }
+      if (!covers) continue;
+
+      // Redirect every reference to `drop` (graph-wide: parent exprs and
+      // correlated descendants) to `keep`, then remove `drop`.
+      // Note: an equality on a NULL key would drop the row anyway in both
+      // the self-join and its reduction, so NULL semantics are preserved
+      // ... provided the key equality predicates remain. We rewrite them to
+      // keep.k = keep.k? That would keep NULL-rejection only if evaluated;
+      // instead replace them with IS NOT NULL checks on the key columns.
+      int drop_id = drop->id;
+      int keep_id = keep->id;
+      auto& preds = box->mutable_predicates();
+      for (size_t pi = 0; pi < preds.size();) {
+        const Expr& p = *preds[pi];
+        bool is_key_eq = false;
+        if (p.kind == ExprKind::kBinary && p.bin_op == BinaryOp::kEq) {
+          const Expr* l = p.children[0].get();
+          const Expr* r = p.children[1].get();
+          if (l->kind == ExprKind::kColumnRef &&
+              r->kind == ExprKind::kColumnRef &&
+              l->column_index == r->column_index &&
+              ((l->quantifier_id == keep_id && r->quantifier_id == drop_id) ||
+               (l->quantifier_id == drop_id && r->quantifier_id == keep_id))) {
+            is_key_eq = true;
+          }
+        }
+        if (is_key_eq) {
+          int col = p.children[0]->column_index;
+          preds[pi] = Expr::MakeIsNull(Expr::MakeColumnRef(keep_id, col),
+                                       /*negated=*/true);
+          ++pi;
+          continue;
+        }
+        ++pi;
+      }
+      for (Box* b : g->boxes()) {
+        auto remap = [drop_id, keep_id](int qid, int col) {
+          return qid == drop_id ? std::make_pair(keep_id, col)
+                                : std::make_pair(qid, col);
+        };
+        for (ExprPtr& pred : b->mutable_predicates()) pred->RemapColumns(remap);
+        for (OutputColumn& out : b->mutable_outputs()) {
+          if (out.expr != nullptr) out.expr->RemapColumns(remap);
+        }
+      }
+      SM_RETURN_IF_ERROR(g->RemoveQuantifier(drop_id));
+      box->set_join_order({});
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace starmagic

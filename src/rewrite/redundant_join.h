@@ -1,0 +1,21 @@
+#ifndef STARMAGIC_REWRITE_REDUNDANT_JOIN_H_
+#define STARMAGIC_REWRITE_REDUNDANT_JOIN_H_
+
+#include "rewrite/rule.h"
+
+namespace starmagic {
+
+/// Removes redundant self-joins: when two ForEach quantifiers of a select
+/// box range over the same duplicate-free box and are equated on a full
+/// unique key, the second quantifier is redundant — every reference to it
+/// is redirected to the first and it is dropped (§3.1 "redundant join
+/// elimination").
+class RedundantJoinRule : public RewriteRule {
+ public:
+  const char* name() const override { return "redundant-join"; }
+  Result<bool> Apply(RewriteContext* ctx, Box* box) override;
+};
+
+}  // namespace starmagic
+
+#endif  // STARMAGIC_REWRITE_REDUNDANT_JOIN_H_

@@ -1,0 +1,40 @@
+#ifndef STARMAGIC_REWRITE_RULE_H_
+#define STARMAGIC_REWRITE_RULE_H_
+
+#include <memory>
+#include <string>
+
+#include "catalog/catalog.h"
+#include "common/status.h"
+#include "qgm/graph.h"
+
+namespace starmagic {
+
+/// Shared state passed to every rule application.
+struct RewriteContext {
+  QueryGraph* graph = nullptr;
+  const Catalog* catalog = nullptr;
+  /// Count of rule applications in the current engine run (diagnostics).
+  int applications = 0;
+  /// Optional trace sink: when non-null, rules append one line per firing.
+  std::string* trace = nullptr;
+};
+
+/// A query-rewrite rule in the Starburst style (§3.1): the engine calls
+/// `Apply` once per (rule, box) pair per pass; the rule inspects the box
+/// and possibly transforms the graph.
+class RewriteRule {
+ public:
+  virtual ~RewriteRule() = default;
+
+  virtual const char* name() const = 0;
+
+  /// Attempts to apply the rule at `box`. Returns true if the graph
+  /// changed. Rules may allocate/remove boxes; the engine re-snapshots the
+  /// box list after every change.
+  virtual Result<bool> Apply(RewriteContext* ctx, Box* box) = 0;
+};
+
+}  // namespace starmagic
+
+#endif  // STARMAGIC_REWRITE_RULE_H_

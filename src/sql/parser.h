@@ -1,0 +1,26 @@
+#ifndef STARMAGIC_SQL_PARSER_H_
+#define STARMAGIC_SQL_PARSER_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "sql/ast.h"
+
+namespace starmagic {
+
+/// Parses one SQL statement (optionally ';'-terminated). Fails if extra
+/// input follows.
+Result<std::unique_ptr<AstStatement>> ParseStatement(const std::string& sql);
+
+/// Parses a script of ';'-separated statements.
+Result<std::vector<std::unique_ptr<AstStatement>>> ParseScript(
+    const std::string& sql);
+
+/// Parses a bare query blob ("SELECT ... [UNION ...]").
+Result<std::unique_ptr<AstBlob>> ParseQuery(const std::string& sql);
+
+}  // namespace starmagic
+
+#endif  // STARMAGIC_SQL_PARSER_H_

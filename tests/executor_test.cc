@@ -1,0 +1,232 @@
+#include "exec/executor.h"
+
+#include <gtest/gtest.h>
+
+#include "engine/database.h"
+
+namespace starmagic {
+namespace {
+
+// Execution-semantics tests driven through the full stack with the
+// Original strategy (no magic involved) unless noted.
+class ExecutorTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(db_.ExecuteScript(R"sql(
+      CREATE TABLE t (a INTEGER, b VARCHAR, c DOUBLE);
+      INSERT INTO t VALUES (1, 'x', 1.5), (2, 'y', 2.5), (2, 'y', 2.5),
+                           (3, NULL, NULL);
+      CREATE TABLE u (a INTEGER, d INTEGER);
+      INSERT INTO u VALUES (1, 10), (2, 20), (4, 40), (NULL, 50);
+      ANALYZE;
+    )sql")
+                    .ok());
+  }
+
+  Table Run(const std::string& sql,
+            ExecutionStrategy strategy = ExecutionStrategy::kOriginal) {
+    auto r = db_.Query(sql, QueryOptions(strategy));
+    EXPECT_TRUE(r.ok()) << sql << " -> " << r.status().ToString();
+    return r.ok() ? std::move(r->table) : Table{};
+  }
+
+  Database db_;
+};
+
+TEST_F(ExecutorTest, SelectWithoutFromYieldsOneRow) {
+  Table t = Run("SELECT 1 + 2 AS three, 'x' AS s");
+  ASSERT_EQ(t.num_rows(), 1);
+  EXPECT_EQ(t.rows()[0][0].int_value(), 3);
+  EXPECT_EQ(t.rows()[0][1].string_value(), "x");
+}
+
+TEST_F(ExecutorTest, WhereKeepsOnlyTrueRows) {
+  // b = 'x' is UNKNOWN for the NULL row -> excluded.
+  Table t = Run("SELECT a FROM t WHERE b = 'x'");
+  EXPECT_EQ(t.num_rows(), 1);
+  // NOT (b = 'x') is also UNKNOWN for NULLs -> still excluded.
+  t = Run("SELECT a FROM t WHERE NOT (b = 'x')");
+  EXPECT_EQ(t.num_rows(), 2);
+}
+
+TEST_F(ExecutorTest, BagSemanticsKeepDuplicates) {
+  Table t = Run("SELECT a FROM t");
+  EXPECT_EQ(t.num_rows(), 4);
+  t = Run("SELECT DISTINCT a FROM t");
+  EXPECT_EQ(t.num_rows(), 3);
+}
+
+TEST_F(ExecutorTest, DistinctTreatsNullsEqual) {
+  Table t = Run("SELECT DISTINCT b FROM t");
+  EXPECT_EQ(t.num_rows(), 3);  // 'x', 'y', NULL
+}
+
+TEST_F(ExecutorTest, InnerJoinSkipsNullKeys) {
+  Table t = Run("SELECT t.a, u.d FROM t, u WHERE t.a = u.a ORDER BY d");
+  // t.a=1 matches u(1,10); t.a=2 twice matches u(2,20); NULL u row never.
+  ASSERT_EQ(t.num_rows(), 3);
+  EXPECT_EQ(t.rows()[0][1].int_value(), 10);
+  EXPECT_EQ(t.rows()[1][1].int_value(), 20);
+  EXPECT_EQ(t.rows()[2][1].int_value(), 20);
+}
+
+TEST_F(ExecutorTest, CrossJoinCounts) {
+  Table t = Run("SELECT t.a FROM t, u");
+  EXPECT_EQ(t.num_rows(), 16);
+}
+
+TEST_F(ExecutorTest, NonEquiJoin) {
+  Table t = Run("SELECT t.a, u.a FROM t, u WHERE t.a < u.a ORDER BY 1, 2");
+  // pairs with t.a < u.a (NULL u.a never qualifies):
+  // 1<2,1<4, 2<4, 2<4, 3<4 = 5 rows.
+  EXPECT_EQ(t.num_rows(), 5);
+}
+
+TEST_F(ExecutorTest, GroupByWithNullKeyFormsGroup) {
+  Table t = Run("SELECT b, COUNT(*) AS n FROM t GROUP BY b ORDER BY n DESC");
+  ASSERT_EQ(t.num_rows(), 3);  // 'y' (2), 'x' (1), NULL (1)
+  EXPECT_EQ(t.rows()[0][1].int_value(), 2);
+}
+
+TEST_F(ExecutorTest, GlobalAggregateOverEmptyInput) {
+  Table t = Run("SELECT COUNT(*) AS n, SUM(a) AS s FROM t WHERE a > 100");
+  ASSERT_EQ(t.num_rows(), 1);
+  EXPECT_EQ(t.rows()[0][0].int_value(), 0);
+  EXPECT_TRUE(t.rows()[0][1].is_null());
+}
+
+TEST_F(ExecutorTest, AggregatesIgnoreNulls) {
+  Table t = Run("SELECT COUNT(c) AS n, AVG(c) AS avg_c FROM t");
+  ASSERT_EQ(t.num_rows(), 1);
+  EXPECT_EQ(t.rows()[0][0].int_value(), 3);
+  EXPECT_DOUBLE_EQ(t.rows()[0][1].double_value(), (1.5 + 2.5 + 2.5) / 3);
+}
+
+TEST_F(ExecutorTest, HavingFiltersGroups) {
+  Table t = Run("SELECT a, COUNT(*) FROM t GROUP BY a HAVING COUNT(*) > 1");
+  ASSERT_EQ(t.num_rows(), 1);
+  EXPECT_EQ(t.rows()[0][0].int_value(), 2);
+}
+
+TEST_F(ExecutorTest, UnionDistinctAndAll) {
+  // distinct values: {1,2,3} from t plus {4, NULL} from u.
+  EXPECT_EQ(Run("SELECT a FROM t UNION SELECT a FROM u").num_rows(), 5);
+  EXPECT_EQ(Run("SELECT a FROM t UNION ALL SELECT a FROM u").num_rows(), 8);
+}
+
+TEST_F(ExecutorTest, ExceptAndIntersectAreSetSemantics) {
+  Table t = Run("SELECT a FROM t EXCEPT SELECT a FROM u");
+  EXPECT_EQ(t.num_rows(), 1);  // {3}
+  t = Run("SELECT a FROM t INTERSECT SELECT a FROM u");
+  EXPECT_EQ(t.num_rows(), 2);  // {1,2}
+}
+
+TEST_F(ExecutorTest, InSubqueryWithNulls) {
+  // 3 is not in u; u contains NULL -> 3 IN u is UNKNOWN -> excluded.
+  Table t = Run("SELECT a FROM t WHERE a IN (SELECT a FROM u)");
+  EXPECT_EQ(t.num_rows(), 3);  // 1, 2, 2
+}
+
+TEST_F(ExecutorTest, NotInWithNullsExcludesEverything) {
+  // u.a contains NULL: x NOT IN u is never TRUE.
+  Table t = Run("SELECT a FROM t WHERE a NOT IN (SELECT a FROM u)");
+  EXPECT_EQ(t.num_rows(), 0);
+}
+
+TEST_F(ExecutorTest, NotInWithoutNulls) {
+  Table t = Run(
+      "SELECT a FROM t WHERE a NOT IN (SELECT a FROM u WHERE a IS NOT NULL)");
+  EXPECT_EQ(t.num_rows(), 1);  // {3}
+}
+
+TEST_F(ExecutorTest, ExistsAndNotExistsCorrelated) {
+  Table t = Run(
+      "SELECT u.d FROM u WHERE EXISTS "
+      "(SELECT t.a FROM t WHERE t.a = u.a) ORDER BY d");
+  ASSERT_EQ(t.num_rows(), 2);
+  EXPECT_EQ(t.rows()[0][0].int_value(), 10);
+  t = Run(
+      "SELECT u.d FROM u WHERE NOT EXISTS "
+      "(SELECT t.a FROM t WHERE t.a = u.a) ORDER BY d");
+  ASSERT_EQ(t.num_rows(), 2);  // d=40 (a=4) and d=50 (a=NULL)
+}
+
+TEST_F(ExecutorTest, ScalarSubqueryUncorrelated) {
+  Table t = Run("SELECT a FROM t WHERE c > (SELECT AVG(c) FROM t)");
+  EXPECT_EQ(t.num_rows(), 2);  // the two 2.5 rows, avg is ~2.17
+}
+
+TEST_F(ExecutorTest, ScalarSubqueryCorrelated) {
+  Table t = Run(
+      "SELECT u.a FROM u WHERE u.d > "
+      "(SELECT SUM(t.c) FROM t WHERE t.a = u.a) ORDER BY 1");
+  // u(1,10): sum=1.5 -> 10>1.5 true. u(2,20): sum=5 -> true.
+  // u(4,40): sum NULL -> unknown. u(NULL,50): sum NULL -> unknown.
+  ASSERT_EQ(t.num_rows(), 2);
+}
+
+TEST_F(ExecutorTest, ScalarSubqueryEmptyYieldsNull) {
+  Table t = Run(
+      "SELECT (SELECT t.a FROM t WHERE t.a = 99) AS missing FROM u WHERE "
+      "u.d = 10");
+  ASSERT_EQ(t.num_rows(), 1);
+  EXPECT_TRUE(t.rows()[0][0].is_null());
+}
+
+TEST_F(ExecutorTest, ScalarSubqueryMultipleRowsFails) {
+  auto r = db_.Query("SELECT a FROM t WHERE a = (SELECT a FROM u)",
+                     QueryOptions(ExecutionStrategy::kOriginal));
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kExecutionError);
+}
+
+TEST_F(ExecutorTest, OrderByWithNullsAndLimit) {
+  Table t = Run("SELECT b FROM t ORDER BY b LIMIT 2");
+  ASSERT_EQ(t.num_rows(), 2);
+  EXPECT_TRUE(t.rows()[0][0].is_null());  // NULL sorts first (total order)
+  EXPECT_EQ(t.rows()[1][0].string_value(), "x");
+}
+
+TEST_F(ExecutorTest, DerivedTable) {
+  Table t = Run(
+      "SELECT s.a, s.n FROM "
+      "(SELECT a, COUNT(*) AS n FROM t GROUP BY a) s WHERE s.n = 2");
+  ASSERT_EQ(t.num_rows(), 1);
+  EXPECT_EQ(t.rows()[0][0].int_value(), 2);
+}
+
+TEST_F(ExecutorTest, StatsAreCounted) {
+  auto r = db_.Query("SELECT t.a FROM t, u WHERE t.a = u.a",
+                     QueryOptions(ExecutionStrategy::kOriginal));
+  ASSERT_TRUE(r.ok());
+  EXPECT_GT(r->exec_stats.rows_scanned, 0);
+  EXPECT_GT(r->exec_stats.rows_produced, 0);
+  EXPECT_GT(r->exec_stats.box_evaluations, 0);
+}
+
+TEST_F(ExecutorTest, BetweenAndLikeAndInList) {
+  EXPECT_EQ(Run("SELECT a FROM t WHERE a BETWEEN 2 AND 3").num_rows(), 3);
+  EXPECT_EQ(Run("SELECT a FROM t WHERE a NOT BETWEEN 2 AND 3").num_rows(), 1);
+  EXPECT_EQ(Run("SELECT a FROM t WHERE b LIKE '_'").num_rows(), 3);
+  EXPECT_EQ(Run("SELECT a FROM t WHERE a IN (1, 3, 99)").num_rows(), 2);
+}
+
+TEST_F(ExecutorTest, RowLimitGuard) {
+  ASSERT_TRUE(db_.Execute("CREATE TABLE big (x INTEGER)").ok());
+  Table* big = db_.catalog()->GetTable("big");
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_TRUE(big->Append({Value::Int(i)}).ok());
+  }
+  auto pipeline = db_.Explain("SELECT b1.x FROM big b1, big b2, big b3",
+                              QueryOptions(ExecutionStrategy::kOriginal));
+  ASSERT_TRUE(pipeline.ok());
+  ExecOptions opts;
+  opts.max_rows_per_box = 10000;  // 100^3 would exceed this
+  Executor ex(pipeline->graph.get(), db_.catalog(), opts);
+  auto result = ex.Run();
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kExecutionError);
+}
+
+}  // namespace
+}  // namespace starmagic

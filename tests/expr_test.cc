@@ -1,0 +1,114 @@
+#include "qgm/expr.h"
+
+#include <gtest/gtest.h>
+
+#include "common/string_util.h"
+
+namespace starmagic {
+namespace {
+
+ExprPtr Col(int q, int c) { return Expr::MakeColumnRef(q, c); }
+ExprPtr Lit(int64_t v) { return Expr::MakeLiteral(Value::Int(v)); }
+ExprPtr Eq(ExprPtr a, ExprPtr b) {
+  return Expr::MakeBinary(BinaryOp::kEq, std::move(a), std::move(b));
+}
+ExprPtr And(ExprPtr a, ExprPtr b) {
+  return Expr::MakeBinary(BinaryOp::kAnd, std::move(a), std::move(b));
+}
+
+TEST(ExprTest, CloneIsDeepAndEqual) {
+  ExprPtr e = And(Eq(Col(1, 0), Lit(5)),
+                  Expr::MakeIsNull(Col(2, 1), /*negated=*/true));
+  ExprPtr copy = e->Clone();
+  EXPECT_TRUE(Expr::Equals(*e, *copy));
+  copy->children[0]->children[1]->literal = Value::Int(6);
+  EXPECT_FALSE(Expr::Equals(*e, *copy));
+}
+
+TEST(ExprTest, ReferencedQuantifiers) {
+  ExprPtr e = And(Eq(Col(1, 0), Col(2, 3)), Eq(Col(1, 1), Lit(9)));
+  std::set<int> refs = e->ReferencedQuantifiers();
+  EXPECT_EQ(refs, (std::set<int>{1, 2}));
+  EXPECT_TRUE(e->References(1));
+  EXPECT_FALSE(e->References(3));
+}
+
+TEST(ExprTest, RemapColumns) {
+  ExprPtr e = Eq(Col(1, 0), Col(2, 3));
+  e->RemapColumns([](int q, int c) {
+    return q == 1 ? std::make_pair(10, c + 5) : std::make_pair(q, c);
+  });
+  EXPECT_EQ(e->children[0]->quantifier_id, 10);
+  EXPECT_EQ(e->children[0]->column_index, 5);
+  EXPECT_EQ(e->children[1]->quantifier_id, 2);
+}
+
+TEST(ExprTest, SubstituteColumnReplacesSubtree) {
+  ExprPtr e = Eq(Col(1, 0), Lit(5));
+  ExprPtr replacement = Expr::MakeBinary(BinaryOp::kAdd, Col(7, 2), Lit(1));
+  EXPECT_TRUE(e->SubstituteColumn(1, 0, *replacement));
+  EXPECT_EQ(e->children[0]->kind, ExprKind::kBinary);
+  EXPECT_EQ(e->children[0]->bin_op, BinaryOp::kAdd);
+  EXPECT_FALSE(e->SubstituteColumn(1, 0, *replacement));  // nothing left
+}
+
+TEST(ExprTest, SplitAndCombineConjuncts) {
+  ExprPtr e = And(And(Eq(Col(1, 0), Lit(1)), Eq(Col(1, 1), Lit(2))),
+                  Eq(Col(2, 0), Lit(3)));
+  std::vector<ExprPtr> conjuncts;
+  SplitConjuncts(std::move(e), &conjuncts);
+  ASSERT_EQ(conjuncts.size(), 3u);
+  ExprPtr combined = CombineConjuncts(std::move(conjuncts));
+  std::vector<ExprPtr> again;
+  SplitConjuncts(std::move(combined), &again);
+  EXPECT_EQ(again.size(), 3u);
+}
+
+TEST(ExprTest, ContainsAggregate) {
+  ExprPtr plain = Eq(Col(1, 0), Lit(1));
+  EXPECT_FALSE(plain->ContainsAggregate());
+  ExprPtr agg = Expr::MakeBinary(
+      BinaryOp::kAdd, Expr::MakeAggregate(AggFunc::kSum, false, Col(1, 0)),
+      Lit(1));
+  EXPECT_TRUE(agg->ContainsAggregate());
+}
+
+TEST(ExprTest, MatchColumnComparisonNormalizesDirection) {
+  // 5 < q1.c0  should match as  q1.c0 > 5.
+  ExprPtr e = Expr::MakeBinary(BinaryOp::kLt, Lit(5), Col(1, 0));
+  ColumnComparison cc;
+  ASSERT_TRUE(MatchColumnComparison(*e, &cc));
+  EXPECT_EQ(cc.column->quantifier_id, 1);
+  EXPECT_EQ(cc.op, BinaryOp::kGt);
+  EXPECT_EQ(cc.other->kind, ExprKind::kLiteral);
+}
+
+TEST(ExprTest, MatchColumnComparisonForTargetsQuantifier) {
+  // q1.c0 = q2.c1: both sides are columns; the targeted variant picks the
+  // requested side.
+  ExprPtr e = Eq(Col(1, 0), Col(2, 1));
+  ColumnComparison cc;
+  ASSERT_TRUE(MatchColumnComparisonFor(*e, 2, &cc));
+  EXPECT_EQ(cc.column->quantifier_id, 2);
+  EXPECT_EQ(cc.other->quantifier_id, 1);
+  ASSERT_TRUE(MatchColumnComparisonFor(*e, 1, &cc));
+  EXPECT_EQ(cc.column->quantifier_id, 1);
+  EXPECT_FALSE(MatchColumnComparisonFor(*e, 3, &cc));
+}
+
+TEST(ExprTest, MatchRejectsSelfReferencingComparison) {
+  // q1.c0 = q1.c1 binds nothing.
+  ExprPtr e = Eq(Col(1, 0), Col(1, 1));
+  ColumnComparison cc;
+  EXPECT_FALSE(MatchColumnComparisonFor(*e, 1, &cc));
+}
+
+TEST(ExprTest, ToStringUsesNamer) {
+  ExprPtr e = Eq(Col(1, 0), Lit(5));
+  std::string s = e->ToString(
+      [](int q, int c) { return StrCat("T", q, ".col", c); });
+  EXPECT_EQ(s, "T1.col0 = 5");
+}
+
+}  // namespace
+}  // namespace starmagic

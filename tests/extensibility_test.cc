@@ -1,0 +1,210 @@
+#include <gtest/gtest.h>
+
+#include <unordered_map>
+
+#include "engine/database.h"
+#include "exec/executor.h"
+#include "optimizer/pipeline.h"
+#include "qgm/printer.h"
+
+namespace starmagic {
+namespace {
+
+// §5: a customizer registers a new operation (AMQ/NMQ declaration plus
+// column mapping and evaluator) and both the rewrite rules and EMST work
+// through it unchanged.
+
+Result<Table> EvaluateExceptAll(const Box& box,
+                                const std::vector<const Table*>& inputs) {
+  std::unordered_map<Row, int, RowHash, RowEq> cancel;
+  for (const Row& row : inputs[1]->rows()) cancel[row]++;
+  Table out(box.label(), Schema{});
+  for (const Row& row : inputs[0]->rows()) {
+    auto it = cancel.find(row);
+    if (it != cancel.end() && it->second > 0) {
+      --it->second;
+      continue;
+    }
+    out.AppendUnchecked(row);
+  }
+  return out;
+}
+
+void RegisterExceptAll() {
+  OperationTraits traits;
+  traits.name = "TEST_EXCEPTALL";
+  traits.accepts_magic_quantifier = false;
+  traits.map_output_column = [](const Box&, int out_col, int) {
+    return out_col;
+  };
+  traits.evaluate = EvaluateExceptAll;
+  OperationRegistry::Instance().Register(std::move(traits));
+}
+
+class ExtensibilityTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    RegisterExceptAll();
+    ASSERT_TRUE(catalog_.CreateTable("all_items",
+                                     Schema({{"k", ColumnType::kInt},
+                                             {"v", ColumnType::kInt}}))
+                    .ok());
+    ASSERT_TRUE(catalog_.CreateTable("sold",
+                                     Schema({{"k", ColumnType::kInt},
+                                             {"v", ColumnType::kInt}}))
+                    .ok());
+    ASSERT_TRUE(catalog_.CreateTable("wanted",
+                                     Schema({{"k", ColumnType::kInt}}))
+                    .ok());
+    Table* all_items = catalog_.GetTable("all_items");
+    Table* sold = catalog_.GetTable("sold");
+    Table* wanted = catalog_.GetTable("wanted");
+    for (int k = 7; k < 10; ++k) {
+      ASSERT_TRUE(wanted->Append({Value::Int(k)}).ok());
+    }
+    for (int k = 0; k < 20; ++k) {
+      for (int v = 0; v < 3; ++v) {
+        ASSERT_TRUE(all_items->Append({Value::Int(k), Value::Int(v)}).ok());
+      }
+      ASSERT_TRUE(sold->Append({Value::Int(k), Value::Int(0)}).ok());
+    }
+    ASSERT_TRUE(catalog_.AnalyzeAll().ok());
+  }
+
+  // QUERY = SELECT r.k, r.v FROM wanted w, remaining r WHERE w.k = r.k,
+  // with remaining = all_items TEST_EXCEPTALL sold. The join predicate is
+  // what EMST turns into magic (a literal would already be consumed by
+  // phase-1 local pushdown).
+  std::unique_ptr<QueryGraph> BuildGraph() {
+    auto g = std::make_unique<QueryGraph>();
+    auto base = [&](const char* name) {
+      Box* b = g->NewBox(BoxKind::kBaseTable, name);
+      b->set_table_name(name);
+      b->AddOutput("k", nullptr);
+      b->AddOutput("v", nullptr);
+      return b;
+    };
+    // Wrap the stored tables in select boxes: stored tables are never
+    // adorned (§4), so restrictions flow into these wrappers instead.
+    auto wrap = [&](Box* input, const char* label) {
+      Box* w = g->NewBox(BoxKind::kSelect, label);
+      Quantifier* q = g->NewQuantifier(w, QuantifierType::kForEach, input, "t");
+      for (int i = 0; i < input->NumOutputs(); ++i) {
+        w->AddOutput(input->outputs()[static_cast<size_t>(i)].name,
+                     Expr::MakeColumnRef(q->id, i));
+      }
+      return w;
+    };
+    Box* custom = g->NewCustomBox("TEST_EXCEPTALL", "REMAINING");
+    g->NewQuantifier(custom, QuantifierType::kForEach,
+                     wrap(base("all_items"), "ALL_V"), "a");
+    g->NewQuantifier(custom, QuantifierType::kForEach,
+                     wrap(base("sold"), "SOLD_V"), "s");
+    custom->AddOutput("k", nullptr);
+    custom->AddOutput("v", nullptr);
+    Box* wanted_box = g->NewBox(BoxKind::kBaseTable, "WANTED");
+    wanted_box->set_table_name("wanted");
+    wanted_box->AddOutput("k", nullptr);
+    Box* query = g->NewBox(BoxKind::kSelect, "QUERY");
+    Quantifier* w =
+        g->NewQuantifier(query, QuantifierType::kForEach, wanted_box, "w");
+    Quantifier* r =
+        g->NewQuantifier(query, QuantifierType::kForEach, custom, "r");
+    query->AddPredicate(Expr::MakeBinary(BinaryOp::kEq,
+                                         Expr::MakeColumnRef(w->id, 0),
+                                         Expr::MakeColumnRef(r->id, 0)));
+    query->AddOutput("k", Expr::MakeColumnRef(r->id, 0));
+    query->AddOutput("v", Expr::MakeColumnRef(r->id, 1));
+    g->set_top(query);
+    return g;
+  }
+
+  Catalog catalog_;
+};
+
+TEST_F(ExtensibilityTest, RegistryRoundTrip) {
+  const OperationTraits* traits =
+      OperationRegistry::Instance().Get("TEST_EXCEPTALL");
+  ASSERT_NE(traits, nullptr);
+  EXPECT_FALSE(traits->accepts_magic_quantifier);
+  EXPECT_NE(traits->map_output_column, nullptr);
+  EXPECT_NE(traits->evaluate, nullptr);
+}
+
+TEST_F(ExtensibilityTest, BuiltinAmqClassification) {
+  // §4.2: select is AMQ; union, groupby, difference are NMQ.
+  auto& reg = OperationRegistry::Instance();
+  EXPECT_TRUE(reg.Get(kOpSelect)->accepts_magic_quantifier);
+  EXPECT_FALSE(reg.Get(kOpGroupBy)->accepts_magic_quantifier);
+  EXPECT_FALSE(reg.Get(kOpUnion)->accepts_magic_quantifier);
+  EXPECT_FALSE(reg.Get(kOpExcept)->accepts_magic_quantifier);
+}
+
+TEST_F(ExtensibilityTest, CustomOpExecutes) {
+  auto g = BuildGraph();
+  ASSERT_TRUE(g->Validate().ok());
+  PipelineOptions options;
+  options.strategy = ExecutionStrategy::kOriginal;
+  auto p = OptimizeQuery(std::move(g), &catalog_, options);
+  ASSERT_TRUE(p.ok()) << p.status().ToString();
+  Executor ex(p->graph.get(), &catalog_, ExecOptions{});
+  auto t = ex.Run();
+  ASSERT_TRUE(t.ok()) << t.status().ToString();
+  // Per wanted key (3 of them): {0,1,2} minus one 0 -> {1,2}.
+  EXPECT_EQ(t->num_rows(), 6);
+}
+
+TEST_F(ExtensibilityTest, MagicFlowsThroughCustomNmqBox) {
+  auto magic_graph = BuildGraph();
+  PipelineOptions magic_options;
+  magic_options.cost_compare = false;
+  auto p = OptimizeQuery(std::move(magic_graph), &catalog_, magic_options);
+  ASSERT_TRUE(p.ok()) << p.status().ToString();
+  // The custom box got an adorned copy whose inputs were restricted
+  // (either magic joins survive or local pushdown placed the literal
+  // restriction inside new select boxes above the base tables).
+  bool adorned_custom = false;
+  for (Box* b : p->graph->boxes()) {
+    if (b->kind() == BoxKind::kCustom && !b->adornment().empty()) {
+      adorned_custom = true;
+    }
+  }
+  EXPECT_TRUE(adorned_custom) << PrintGraph(*p->graph);
+
+  Executor magic_exec(p->graph.get(), &catalog_, ExecOptions{});
+  auto magic_result = magic_exec.Run();
+  ASSERT_TRUE(magic_result.ok()) << magic_result.status().ToString();
+
+  auto baseline_graph = BuildGraph();
+  PipelineOptions original_options;
+  original_options.strategy = ExecutionStrategy::kOriginal;
+  auto baseline = OptimizeQuery(std::move(baseline_graph), &catalog_,
+                                original_options);
+  ASSERT_TRUE(baseline.ok());
+  Executor base_exec(baseline->graph.get(), &catalog_, ExecOptions{});
+  auto base_result = base_exec.Run();
+  ASSERT_TRUE(base_result.ok());
+  EXPECT_TRUE(Table::BagEquals(*magic_result, *base_result));
+  // The restricted evaluation reads fewer rows.
+  EXPECT_LT(magic_exec.stats().TotalWork(), base_exec.stats().TotalWork());
+}
+
+TEST_F(ExtensibilityTest, UnregisteredCustomOpFailsGracefully) {
+  auto g = std::make_unique<QueryGraph>();
+  Box* base = g->NewBox(BoxKind::kBaseTable, "ALL_ITEMS");
+  base->set_table_name("all_items");
+  base->AddOutput("k", nullptr);
+  base->AddOutput("v", nullptr);
+  Box* custom = g->NewCustomBox("NO_SUCH_OP", "X");
+  g->NewQuantifier(custom, QuantifierType::kForEach, base, "a");
+  custom->AddOutput("k", nullptr);
+  custom->AddOutput("v", nullptr);
+  g->set_top(custom);
+  Executor ex(g.get(), &catalog_, ExecOptions{});
+  auto t = ex.Run();
+  ASSERT_FALSE(t.ok());
+  EXPECT_EQ(t.status().code(), StatusCode::kNotSupported);
+}
+
+}  // namespace
+}  // namespace starmagic

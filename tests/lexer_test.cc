@@ -1,0 +1,85 @@
+#include "sql/lexer.h"
+
+#include <gtest/gtest.h>
+
+namespace starmagic {
+namespace {
+
+std::vector<Token> MustLex(const std::string& sql) {
+  auto r = Lex(sql);
+  EXPECT_TRUE(r.ok()) << r.status().ToString();
+  return r.ok() ? *r : std::vector<Token>{};
+}
+
+TEST(LexerTest, KeywordsAreCaseInsensitive) {
+  auto tokens = MustLex("select Select SELECT");
+  ASSERT_EQ(tokens.size(), 4u);  // 3 + EOF
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_EQ(tokens[static_cast<size_t>(i)].type, TokenType::kKeyword);
+    EXPECT_EQ(tokens[static_cast<size_t>(i)].text, "SELECT");
+  }
+}
+
+TEST(LexerTest, IdentifiersKeepCase) {
+  auto tokens = MustLex("avgMgrSal emp_2");
+  EXPECT_EQ(tokens[0].type, TokenType::kIdentifier);
+  EXPECT_EQ(tokens[0].text, "avgMgrSal");
+  EXPECT_EQ(tokens[1].text, "emp_2");
+}
+
+TEST(LexerTest, NumbersIntAndDouble) {
+  auto tokens = MustLex("42 3.5 1e3 2.5E-1 .5");
+  EXPECT_EQ(tokens[0].type, TokenType::kIntLiteral);
+  EXPECT_EQ(tokens[0].int_value, 42);
+  EXPECT_EQ(tokens[1].type, TokenType::kDoubleLiteral);
+  EXPECT_DOUBLE_EQ(tokens[1].double_value, 3.5);
+  EXPECT_EQ(tokens[2].type, TokenType::kDoubleLiteral);
+  EXPECT_DOUBLE_EQ(tokens[2].double_value, 1000.0);
+  EXPECT_DOUBLE_EQ(tokens[3].double_value, 0.25);
+  EXPECT_DOUBLE_EQ(tokens[4].double_value, 0.5);
+}
+
+TEST(LexerTest, StringsWithEscapedQuote) {
+  auto tokens = MustLex("'it''s'");
+  EXPECT_EQ(tokens[0].type, TokenType::kStringLiteral);
+  EXPECT_EQ(tokens[0].text, "it's");
+}
+
+TEST(LexerTest, UnterminatedStringFails) {
+  EXPECT_FALSE(Lex("'oops").ok());
+}
+
+TEST(LexerTest, Operators) {
+  auto tokens = MustLex("= <> != < <= > >= + - * / ( ) , . ;");
+  std::vector<TokenType> expected = {
+      TokenType::kEq,    TokenType::kNeq,   TokenType::kNeq,
+      TokenType::kLt,    TokenType::kLtEq,  TokenType::kGt,
+      TokenType::kGtEq,  TokenType::kPlus,  TokenType::kMinus,
+      TokenType::kStar,  TokenType::kSlash, TokenType::kLParen,
+      TokenType::kRParen, TokenType::kComma, TokenType::kDot,
+      TokenType::kSemicolon, TokenType::kEof};
+  ASSERT_EQ(tokens.size(), expected.size());
+  for (size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_EQ(tokens[i].type, expected[i]) << "token " << i;
+  }
+}
+
+TEST(LexerTest, LineCommentsAreSkipped) {
+  auto tokens = MustLex("SELECT -- comment to end\n 1");
+  ASSERT_EQ(tokens.size(), 3u);
+  EXPECT_EQ(tokens[1].type, TokenType::kIntLiteral);
+}
+
+TEST(LexerTest, PositionsTrackLines) {
+  auto tokens = MustLex("SELECT\nfoo");
+  EXPECT_EQ(tokens[0].line, 1);
+  EXPECT_EQ(tokens[1].line, 2);
+  EXPECT_EQ(tokens[1].column, 1);
+}
+
+TEST(LexerTest, UnexpectedCharacterFails) {
+  EXPECT_FALSE(Lex("SELECT @x").ok());
+}
+
+}  // namespace
+}  // namespace starmagic

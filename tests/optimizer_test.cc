@@ -1,0 +1,179 @@
+#include <gtest/gtest.h>
+
+#include "engine/database.h"
+#include "optimizer/cardinality.h"
+#include "optimizer/join_order.h"
+#include "qgm/builder.h"
+#include "sql/parser.h"
+
+namespace starmagic {
+namespace {
+
+class OptimizerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(db_.ExecuteScript(R"sql(
+      CREATE TABLE small (k INTEGER, v INTEGER);
+      CREATE TABLE big (k INTEGER, v INTEGER);
+    )sql")
+                    .ok());
+    Table* small = db_.catalog()->GetTable("small");
+    Table* big = db_.catalog()->GetTable("big");
+    for (int i = 0; i < 10; ++i) {
+      ASSERT_TRUE(small->Append({Value::Int(i), Value::Int(i)}).ok());
+    }
+    for (int i = 0; i < 1000; ++i) {
+      ASSERT_TRUE(big->Append({Value::Int(i % 100), Value::Int(i)}).ok());
+    }
+    ASSERT_TRUE(db_.AnalyzeAll().ok());
+  }
+
+  std::unique_ptr<QueryGraph> Build(const std::string& sql) {
+    auto blob = ParseQuery(sql);
+    EXPECT_TRUE(blob.ok());
+    QgmBuilder builder(db_.catalog());
+    auto g = builder.Build(**blob);
+    EXPECT_TRUE(g.ok()) << g.status().ToString();
+    return std::move(*g);
+  }
+
+  Database db_;
+};
+
+TEST_F(OptimizerTest, BaseTableEstimatesFromStats) {
+  auto g = Build("SELECT k FROM big");
+  CardinalityEstimator est(g.get(), db_.catalog());
+  Box* base = nullptr;
+  for (Box* b : g->boxes()) {
+    if (b->kind() == BoxKind::kBaseTable) base = b;
+  }
+  ASSERT_NE(base, nullptr);
+  const BoxEstimate& e = est.Estimate(base);
+  EXPECT_DOUBLE_EQ(e.rows, 1000.0);
+  EXPECT_NEAR(e.ndv[0], 100.0, 1.0);
+}
+
+TEST_F(OptimizerTest, EqualitySelectivityUsesNdv) {
+  auto g = Build("SELECT v FROM big WHERE k = 5");
+  CardinalityEstimator est(g.get(), db_.catalog());
+  const BoxEstimate& e = est.Estimate(g->top());
+  // 1000 rows / NDV(k)=100 -> ~10 rows.
+  EXPECT_NEAR(e.rows, 10.0, 2.0);
+}
+
+TEST_F(OptimizerTest, JoinEstimateUsesMaxNdv) {
+  auto g = Build("SELECT b.v FROM small s, big b WHERE s.k = b.k");
+  CardinalityEstimator est(g.get(), db_.catalog());
+  const BoxEstimate& e = est.Estimate(g->top());
+  // 10 * 1000 / max(10, 100) = 100.
+  EXPECT_NEAR(e.rows, 100.0, 20.0);
+}
+
+TEST_F(OptimizerTest, GroupByEstimateCapsAtKeyNdv) {
+  auto g = Build("SELECT k, COUNT(*) FROM big GROUP BY k");
+  CardinalityEstimator est(g.get(), db_.catalog());
+  Box* groupby = nullptr;
+  for (Box* b : g->boxes()) {
+    if (b->kind() == BoxKind::kGroupBy) groupby = b;
+  }
+  ASSERT_NE(groupby, nullptr);
+  EXPECT_NEAR(est.Estimate(groupby).rows, 100.0, 10.0);
+}
+
+TEST_F(OptimizerTest, JoinOrderPutsSelectiveTableFirst) {
+  auto g = Build(
+      "SELECT b.v FROM big b, small s WHERE s.k = b.k AND s.v = 3");
+  PlanInfo plan = OptimizePlan(g.get(), db_.catalog());
+  const std::vector<int>& order = g->top()->join_order();
+  ASSERT_EQ(order.size(), 2u);
+  // The filtered small table should lead the left-deep pipeline.
+  Quantifier* first = g->top()->FindQuantifier(order[0]);
+  ASSERT_NE(first, nullptr);
+  EXPECT_EQ(first->name, "s");
+  EXPECT_GT(plan.total_cost, 0);
+}
+
+TEST_F(OptimizerTest, JoinOrderRespectsCorrelationDependency) {
+  // Correlated derived evaluation: v depends on s (via the correlate rule
+  // shape); emulate by building and manually pushing correlation.
+  auto g = Build(
+      "SELECT s.v FROM small s, "
+      "(SELECT k, COUNT(*) AS n FROM big GROUP BY k) agg "
+      "WHERE agg.k = s.k");
+  // Move the join predicate into the view to create the correlation.
+  // (This mirrors what CorrelateRule does.)
+  Box* top = g->top();
+  Quantifier* s_q = nullptr;
+  Quantifier* agg_q = nullptr;
+  for (const auto& q : top->quantifiers()) {
+    if (q->name == "s") s_q = q.get();
+    if (q->name == "agg") agg_q = q.get();
+  }
+  ASSERT_NE(s_q, nullptr);
+  ASSERT_NE(agg_q, nullptr);
+  // Find the T1 box under the groupby and add a correlated predicate.
+  Box* groupby = nullptr;
+  for (Box* b : g->boxes()) {
+    if (b->kind() == BoxKind::kGroupBy) groupby = b;
+  }
+  ASSERT_NE(groupby, nullptr);
+  Box* t1 = groupby->quantifiers()[0]->input;
+  t1->AddPredicate(Expr::MakeBinary(
+      BinaryOp::kEq, Expr::MakeColumnRef(t1->quantifiers()[0]->id, 0),
+      Expr::MakeColumnRef(s_q->id, 0)));
+  OptimizePlan(g.get(), db_.catalog());
+  const std::vector<int>& order = top->join_order();
+  ASSERT_EQ(order.size(), 2u);
+  // The correlated view must come after its binding source.
+  EXPECT_EQ(order[0], s_q->id);
+  EXPECT_EQ(order[1], agg_q->id);
+}
+
+TEST_F(OptimizerTest, CostModelPrefersIndexedProbeOverScan) {
+  auto g = Build("SELECT b.v FROM small s, big b WHERE s.k = b.k");
+  CardinalityEstimator est(g.get(), db_.catalog());
+  CostModel model(g.get(), &est);
+  Box* top = g->top();
+  int s_id = -1;
+  int b_id = -1;
+  for (const auto& q : top->quantifiers()) {
+    if (q->name == "s") s_id = q->id;
+    if (q->name == "b") b_id = q->id;
+  }
+  // small-first can probe big through the index (no 1000-row build);
+  // big-first must scan small but pays the big scan first.
+  double small_first = model.BoxCost(top, {s_id, b_id});
+  double big_first = model.BoxCost(top, {b_id, s_id});
+  EXPECT_LT(small_first, big_first);
+}
+
+TEST_F(OptimizerTest, PipelineNeverDegradesPlan) {
+  ASSERT_TRUE(db_.Execute("CREATE VIEW agg (k, n) AS "
+                          "SELECT k, COUNT(*) FROM big GROUP BY k")
+                  .ok());
+  const char* queries[] = {
+      "SELECT a.n FROM small s, agg a WHERE s.k = a.k AND s.v = 3",
+      "SELECT a.k, a.n FROM agg a",
+      "SELECT a.n FROM agg a WHERE a.k = 7",
+  };
+  for (const char* sql : queries) {
+    auto orig = db_.Query(sql, QueryOptions(ExecutionStrategy::kOriginal));
+    auto magic = db_.Query(sql, QueryOptions(ExecutionStrategy::kMagic));
+    ASSERT_TRUE(orig.ok() && magic.ok()) << sql;
+    EXPECT_TRUE(Table::BagEquals(orig->table, magic->table)) << sql;
+    int64_t baseline = orig->exec_stats.TotalWork();
+    EXPECT_LE(magic->exec_stats.TotalWork(), baseline + baseline / 10 + 64)
+        << sql;
+  }
+}
+
+TEST_F(OptimizerTest, CostsReportedByPipeline) {
+  auto r = db_.Explain("SELECT b.v FROM small s, big b WHERE s.k = b.k",
+                       QueryOptions(ExecutionStrategy::kMagic));
+  ASSERT_TRUE(r.ok());
+  EXPECT_GT(r->cost_no_emst, 0);
+  EXPECT_GT(r->cost_with_emst, 0);
+}
+
+}  // namespace
+}  // namespace starmagic

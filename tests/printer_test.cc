@@ -1,0 +1,81 @@
+#include "qgm/printer.h"
+
+#include <gtest/gtest.h>
+
+#include "catalog/catalog.h"
+#include "qgm/builder.h"
+#include "sql/parser.h"
+
+namespace starmagic {
+namespace {
+
+class PrinterTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(catalog_
+                    .CreateTable("emp", Schema({{"empno", ColumnType::kInt},
+                                                {"dept", ColumnType::kInt},
+                                                {"sal", ColumnType::kDouble}}))
+                    .ok());
+  }
+
+  std::unique_ptr<QueryGraph> Build(const std::string& sql) {
+    auto blob = ParseQuery(sql);
+    EXPECT_TRUE(blob.ok());
+    QgmBuilder builder(&catalog_);
+    auto g = builder.Build(**blob);
+    EXPECT_TRUE(g.ok()) << g.status().ToString();
+    return std::move(*g);
+  }
+
+  Catalog catalog_;
+};
+
+TEST_F(PrinterTest, PrintGraphShowsStructure) {
+  auto g = Build("SELECT e.empno FROM emp e WHERE e.sal > 10");
+  std::string text = PrintGraph(*g);
+  EXPECT_NE(text.find("SELECT(QUERY)"), std::string::npos);
+  EXPECT_NE(text.find("BASETABLE(EMP)"), std::string::npos);
+  EXPECT_NE(text.find("e.sal > 10"), std::string::npos);
+  EXPECT_NE(text.find("#boxes=2"), std::string::npos);
+}
+
+TEST_F(PrinterTest, GroupByTripletRendering) {
+  auto g = Build("SELECT dept, AVG(sal) FROM emp GROUP BY dept");
+  std::string text = PrintGraph(*g);
+  EXPECT_NE(text.find("GROUPBY("), std::string::npos);
+  EXPECT_NE(text.find("[key]"), std::string::npos);
+  EXPECT_NE(text.find("AVG("), std::string::npos);
+}
+
+TEST_F(PrinterTest, DotOutputIsWellFormed) {
+  auto g = Build("SELECT e.empno FROM emp e");
+  std::string dot = PrintGraphDot(*g);
+  EXPECT_EQ(dot.rfind("digraph qgm {", 0), 0u);
+  EXPECT_NE(dot.find("->"), std::string::npos);
+  EXPECT_EQ(dot.back(), '\n');
+  EXPECT_NE(dot.find("}"), std::string::npos);
+}
+
+TEST_F(PrinterTest, SqlRenderingLooksLikeFigure5) {
+  auto g = Build(
+      "SELECT e.empno FROM emp e WHERE e.dept = 3 AND e.sal > 10");
+  std::string sql = GraphToSql(*g);
+  EXPECT_NE(sql.find("QUERY(empno) AS SELECT"), std::string::npos);
+  EXPECT_NE(sql.find("WHERE"), std::string::npos);
+  EXPECT_NE(sql.find("=> "), std::string::npos);  // top box marker
+}
+
+TEST_F(PrinterTest, ComplexityCountsPredicates) {
+  auto g = Build("SELECT e.empno FROM emp e WHERE e.dept = 1 AND e.sal > 2");
+  EXPECT_NE(GraphComplexity(*g).find("#predicates=2"), std::string::npos);
+}
+
+TEST_F(PrinterTest, SetOpRendering) {
+  auto g = Build("SELECT empno FROM emp UNION SELECT dept FROM emp");
+  std::string sql = GraphToSql(*g);
+  EXPECT_NE(sql.find("UNION"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace starmagic

@@ -1,0 +1,82 @@
+#include <gtest/gtest.h>
+
+#include "engine/database.h"
+
+namespace starmagic {
+namespace {
+
+// End-to-end sanity: the full stack (parse -> QGM -> rewrite -> plan ->
+// execute) on a tiny schema, for all three strategies.
+class SmokeTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(db_.ExecuteScript(R"sql(
+      CREATE TABLE department (deptno INTEGER, deptname VARCHAR, mgrno INTEGER);
+      CREATE TABLE employee (empno INTEGER, empname VARCHAR,
+                             workdept INTEGER, salary DOUBLE);
+      INSERT INTO department VALUES (1, 'Planning', 100), (2, 'Ops', 200),
+                                    (3, 'R&D', 300);
+      INSERT INTO employee VALUES
+        (100, 'alice', 1, 100.0), (101, 'bob', 1, 50.0),
+        (200, 'carol', 2, 80.0), (201, 'dave', 2, 60.0),
+        (300, 'erin', 3, 120.0), (301, 'frank', 3, 90.0);
+      CREATE VIEW avgSal (workdept, avgsalary) AS
+        SELECT workdept, AVG(salary) FROM employee GROUP BY workdept;
+      ANALYZE;
+    )sql")
+                    .ok());
+    ASSERT_TRUE(db_.SetPrimaryKey("department", {"deptno"}).ok());
+    ASSERT_TRUE(db_.SetPrimaryKey("employee", {"empno"}).ok());
+  }
+
+  Database db_;
+};
+
+TEST_F(SmokeTest, SimpleScan) {
+  auto r = db_.Query("SELECT empno, salary FROM employee WHERE salary > 85");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r->table.num_rows(), 3);
+}
+
+TEST_F(SmokeTest, ViewQueryAllStrategies) {
+  const char* sql =
+      "SELECT d.deptname, s.avgsalary FROM department d, avgSal s "
+      "WHERE d.deptno = s.workdept AND d.deptname = 'Planning'";
+  Result<QueryResult> base = db_.Query(
+      sql, QueryOptions(ExecutionStrategy::kOriginal));
+  ASSERT_TRUE(base.ok()) << base.status().ToString();
+  ASSERT_EQ(base->table.num_rows(), 1);
+  EXPECT_DOUBLE_EQ(base->table.rows()[0][1].AsDouble(), 75.0);
+
+  for (ExecutionStrategy s :
+       {ExecutionStrategy::kCorrelated, ExecutionStrategy::kMagic}) {
+    Result<QueryResult> r = db_.Query(sql, QueryOptions(s));
+    ASSERT_TRUE(r.ok()) << StrategyName(s) << ": " << r.status().ToString();
+    EXPECT_TRUE(Table::BagEquals(base->table, r->table))
+        << StrategyName(s) << " diverged:\n"
+        << base->table.ToString() << r->table.ToString();
+  }
+}
+
+TEST_F(SmokeTest, GroupByHaving) {
+  auto r = db_.Query(
+      "SELECT workdept, COUNT(*) AS n FROM employee GROUP BY workdept "
+      "HAVING AVG(salary) > 70 ORDER BY workdept");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  ASSERT_EQ(r->table.num_rows(), 2);
+  EXPECT_EQ(r->table.rows()[0][0].int_value(), 1);
+  EXPECT_EQ(r->table.rows()[1][0].int_value(), 3);
+}
+
+TEST_F(SmokeTest, ExistsSubquery) {
+  auto r = db_.Query(
+      "SELECT d.deptname FROM department d WHERE EXISTS "
+      "(SELECT e.empno FROM employee e WHERE e.workdept = d.deptno "
+      "AND e.salary > 100)");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  ASSERT_EQ(r->table.num_rows(), 1);
+  EXPECT_EQ(r->table.rows()[0][0].string_value(), "R&D");
+}
+
+}  // namespace
+}  // namespace starmagic

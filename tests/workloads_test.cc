@@ -1,0 +1,109 @@
+#include "workloads.h"
+
+#include <gtest/gtest.h>
+
+namespace starmagic::bench {
+namespace {
+
+TEST(RngTest, Deterministic) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.Next(), b.Next());
+  }
+}
+
+TEST(RngTest, UniformInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    int64_t v = rng.Uniform(10);
+    EXPECT_GE(v, 0);
+    EXPECT_LT(v, 10);
+  }
+}
+
+TEST(RngTest, SkewedFavorsSmallValues) {
+  Rng rng(9);
+  int64_t low = 0;
+  constexpr int kDraws = 2000;
+  for (int i = 0; i < kDraws; ++i) {
+    if (rng.Skewed(100) < 20) ++low;
+  }
+  // A uniform draw would put ~20% below 20; skew should put far more.
+  EXPECT_GT(low, kDraws / 3);
+}
+
+TEST(WorkloadsTest, EmpDeptShapesAndKeys) {
+  Database db;
+  EmpDeptConfig config;
+  config.num_departments = 50;
+  config.num_employees = 500;
+  config.num_projects = 100;
+  ASSERT_TRUE(LoadEmpDept(&db, config).ok());
+  const Table* dept = db.catalog()->GetTable("department");
+  const Table* emp = db.catalog()->GetTable("employee");
+  const Table* proj = db.catalog()->GetTable("project");
+  ASSERT_NE(dept, nullptr);
+  EXPECT_EQ(dept->num_rows(), 50);
+  EXPECT_EQ(emp->num_rows(), 500);
+  EXPECT_EQ(proj->num_rows(), 100);
+  EXPECT_EQ(dept->primary_key(), std::vector<int>{0});
+  EXPECT_NE(db.catalog()->GetStats("employee"), nullptr);
+  // Department 7 is 'Planning' (the paper's running example needs it).
+  auto r = db.Query("SELECT deptno FROM department WHERE deptname = 'Planning'",
+                    QueryOptions(ExecutionStrategy::kOriginal));
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r->table.num_rows(), 1);
+  EXPECT_EQ(r->table.rows()[0][0].int_value(), 7);
+  // Every department's manager exists and works there (mgrSal non-empty).
+  ASSERT_TRUE(CreatePaperViews(&db).ok());
+  auto m = db.Query("SELECT COUNT(*) FROM mgrSal",
+                    QueryOptions(ExecutionStrategy::kOriginal));
+  ASSERT_TRUE(m.ok());
+  EXPECT_EQ(m->table.rows()[0][0].int_value(), 50);
+}
+
+TEST(WorkloadsTest, ProbeDuplicationFactor) {
+  Database db;
+  EmpDeptConfig config;
+  config.num_departments = 20;
+  config.num_employees = 100;
+  config.num_projects = 20;
+  ASSERT_TRUE(LoadEmpDept(&db, config).ok());
+  ASSERT_TRUE(LoadProbe(&db, "probe", 200, 8, 5).ok());
+  auto r = db.Query("SELECT COUNT(DISTINCT pdept) AS d, COUNT(*) AS n "
+                    "FROM probe",
+                    QueryOptions(ExecutionStrategy::kOriginal));
+  ASSERT_TRUE(r.ok());
+  EXPECT_LE(r->table.rows()[0][0].int_value(), 8);
+  EXPECT_EQ(r->table.rows()[0][1].int_value(), 200);
+}
+
+TEST(WorkloadsTest, EdgesAreAcyclicForward) {
+  Database db;
+  ASSERT_TRUE(LoadEdges(&db, 100, 2.0, 11).ok());
+  auto r = db.Query("SELECT COUNT(*) AS bad FROM edge WHERE dst <= src",
+                    QueryOptions(ExecutionStrategy::kOriginal));
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->table.rows()[0][0].int_value(), 0);
+}
+
+TEST(WorkloadsTest, BenchViewsResolve) {
+  Database db;
+  EmpDeptConfig config;
+  config.num_departments = 10;
+  config.num_employees = 50;
+  config.num_projects = 20;
+  ASSERT_TRUE(LoadEmpDept(&db, config).ok());
+  ASSERT_TRUE(CreateBenchViews(&db).ok());
+  for (const char* view :
+       {"avgDeptSal", "deptActivity", "bigDeptActivity", "mgrSal",
+        "avgMgrSal"}) {
+    auto r = db.Query(std::string("SELECT COUNT(*) FROM ") + view,
+                      QueryOptions(ExecutionStrategy::kOriginal));
+    EXPECT_TRUE(r.ok()) << view << ": " << r.status().ToString();
+  }
+}
+
+}  // namespace
+}  // namespace starmagic::bench
