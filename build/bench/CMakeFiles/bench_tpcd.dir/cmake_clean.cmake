@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tpcd.dir/bench_tpcd.cc.o"
+  "CMakeFiles/bench_tpcd.dir/bench_tpcd.cc.o.d"
+  "bench_tpcd"
+  "bench_tpcd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tpcd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sm_workloads.dir/workloads.cc.o"
+  "CMakeFiles/sm_workloads.dir/workloads.cc.o.d"
+  "libsm_workloads.a"
+  "libsm_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sm_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/recursive_paths.dir/recursive_paths.cpp.o"
+  "CMakeFiles/recursive_paths.dir/recursive_paths.cpp.o.d"
+  "recursive_paths"
+  "recursive_paths.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/recursive_paths.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

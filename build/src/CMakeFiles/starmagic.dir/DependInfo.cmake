@@ -1,0 +1,57 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/catalog/catalog.cc" "src/CMakeFiles/starmagic.dir/catalog/catalog.cc.o" "gcc" "src/CMakeFiles/starmagic.dir/catalog/catalog.cc.o.d"
+  "/root/repo/src/catalog/schema.cc" "src/CMakeFiles/starmagic.dir/catalog/schema.cc.o" "gcc" "src/CMakeFiles/starmagic.dir/catalog/schema.cc.o.d"
+  "/root/repo/src/catalog/statistics.cc" "src/CMakeFiles/starmagic.dir/catalog/statistics.cc.o" "gcc" "src/CMakeFiles/starmagic.dir/catalog/statistics.cc.o.d"
+  "/root/repo/src/catalog/table.cc" "src/CMakeFiles/starmagic.dir/catalog/table.cc.o" "gcc" "src/CMakeFiles/starmagic.dir/catalog/table.cc.o.d"
+  "/root/repo/src/catalog/table_io.cc" "src/CMakeFiles/starmagic.dir/catalog/table_io.cc.o" "gcc" "src/CMakeFiles/starmagic.dir/catalog/table_io.cc.o.d"
+  "/root/repo/src/common/row.cc" "src/CMakeFiles/starmagic.dir/common/row.cc.o" "gcc" "src/CMakeFiles/starmagic.dir/common/row.cc.o.d"
+  "/root/repo/src/common/status.cc" "src/CMakeFiles/starmagic.dir/common/status.cc.o" "gcc" "src/CMakeFiles/starmagic.dir/common/status.cc.o.d"
+  "/root/repo/src/common/string_util.cc" "src/CMakeFiles/starmagic.dir/common/string_util.cc.o" "gcc" "src/CMakeFiles/starmagic.dir/common/string_util.cc.o.d"
+  "/root/repo/src/common/value.cc" "src/CMakeFiles/starmagic.dir/common/value.cc.o" "gcc" "src/CMakeFiles/starmagic.dir/common/value.cc.o.d"
+  "/root/repo/src/engine/database.cc" "src/CMakeFiles/starmagic.dir/engine/database.cc.o" "gcc" "src/CMakeFiles/starmagic.dir/engine/database.cc.o.d"
+  "/root/repo/src/exec/aggregate.cc" "src/CMakeFiles/starmagic.dir/exec/aggregate.cc.o" "gcc" "src/CMakeFiles/starmagic.dir/exec/aggregate.cc.o.d"
+  "/root/repo/src/exec/eval.cc" "src/CMakeFiles/starmagic.dir/exec/eval.cc.o" "gcc" "src/CMakeFiles/starmagic.dir/exec/eval.cc.o.d"
+  "/root/repo/src/exec/executor.cc" "src/CMakeFiles/starmagic.dir/exec/executor.cc.o" "gcc" "src/CMakeFiles/starmagic.dir/exec/executor.cc.o.d"
+  "/root/repo/src/exec/join.cc" "src/CMakeFiles/starmagic.dir/exec/join.cc.o" "gcc" "src/CMakeFiles/starmagic.dir/exec/join.cc.o.d"
+  "/root/repo/src/ext/outer_join.cc" "src/CMakeFiles/starmagic.dir/ext/outer_join.cc.o" "gcc" "src/CMakeFiles/starmagic.dir/ext/outer_join.cc.o.d"
+  "/root/repo/src/magic/adornment.cc" "src/CMakeFiles/starmagic.dir/magic/adornment.cc.o" "gcc" "src/CMakeFiles/starmagic.dir/magic/adornment.cc.o.d"
+  "/root/repo/src/magic/emst_rule.cc" "src/CMakeFiles/starmagic.dir/magic/emst_rule.cc.o" "gcc" "src/CMakeFiles/starmagic.dir/magic/emst_rule.cc.o.d"
+  "/root/repo/src/optimizer/cardinality.cc" "src/CMakeFiles/starmagic.dir/optimizer/cardinality.cc.o" "gcc" "src/CMakeFiles/starmagic.dir/optimizer/cardinality.cc.o.d"
+  "/root/repo/src/optimizer/cost_model.cc" "src/CMakeFiles/starmagic.dir/optimizer/cost_model.cc.o" "gcc" "src/CMakeFiles/starmagic.dir/optimizer/cost_model.cc.o.d"
+  "/root/repo/src/optimizer/join_order.cc" "src/CMakeFiles/starmagic.dir/optimizer/join_order.cc.o" "gcc" "src/CMakeFiles/starmagic.dir/optimizer/join_order.cc.o.d"
+  "/root/repo/src/optimizer/pipeline.cc" "src/CMakeFiles/starmagic.dir/optimizer/pipeline.cc.o" "gcc" "src/CMakeFiles/starmagic.dir/optimizer/pipeline.cc.o.d"
+  "/root/repo/src/optimizer/plan_optimizer.cc" "src/CMakeFiles/starmagic.dir/optimizer/plan_optimizer.cc.o" "gcc" "src/CMakeFiles/starmagic.dir/optimizer/plan_optimizer.cc.o.d"
+  "/root/repo/src/qgm/box.cc" "src/CMakeFiles/starmagic.dir/qgm/box.cc.o" "gcc" "src/CMakeFiles/starmagic.dir/qgm/box.cc.o.d"
+  "/root/repo/src/qgm/builder.cc" "src/CMakeFiles/starmagic.dir/qgm/builder.cc.o" "gcc" "src/CMakeFiles/starmagic.dir/qgm/builder.cc.o.d"
+  "/root/repo/src/qgm/expr.cc" "src/CMakeFiles/starmagic.dir/qgm/expr.cc.o" "gcc" "src/CMakeFiles/starmagic.dir/qgm/expr.cc.o.d"
+  "/root/repo/src/qgm/graph.cc" "src/CMakeFiles/starmagic.dir/qgm/graph.cc.o" "gcc" "src/CMakeFiles/starmagic.dir/qgm/graph.cc.o.d"
+  "/root/repo/src/qgm/operation.cc" "src/CMakeFiles/starmagic.dir/qgm/operation.cc.o" "gcc" "src/CMakeFiles/starmagic.dir/qgm/operation.cc.o.d"
+  "/root/repo/src/qgm/printer.cc" "src/CMakeFiles/starmagic.dir/qgm/printer.cc.o" "gcc" "src/CMakeFiles/starmagic.dir/qgm/printer.cc.o.d"
+  "/root/repo/src/rewrite/constant_folding.cc" "src/CMakeFiles/starmagic.dir/rewrite/constant_folding.cc.o" "gcc" "src/CMakeFiles/starmagic.dir/rewrite/constant_folding.cc.o.d"
+  "/root/repo/src/rewrite/correlate_rule.cc" "src/CMakeFiles/starmagic.dir/rewrite/correlate_rule.cc.o" "gcc" "src/CMakeFiles/starmagic.dir/rewrite/correlate_rule.cc.o.d"
+  "/root/repo/src/rewrite/distinct_pullup.cc" "src/CMakeFiles/starmagic.dir/rewrite/distinct_pullup.cc.o" "gcc" "src/CMakeFiles/starmagic.dir/rewrite/distinct_pullup.cc.o.d"
+  "/root/repo/src/rewrite/engine.cc" "src/CMakeFiles/starmagic.dir/rewrite/engine.cc.o" "gcc" "src/CMakeFiles/starmagic.dir/rewrite/engine.cc.o.d"
+  "/root/repo/src/rewrite/merge_rule.cc" "src/CMakeFiles/starmagic.dir/rewrite/merge_rule.cc.o" "gcc" "src/CMakeFiles/starmagic.dir/rewrite/merge_rule.cc.o.d"
+  "/root/repo/src/rewrite/projection_pruning.cc" "src/CMakeFiles/starmagic.dir/rewrite/projection_pruning.cc.o" "gcc" "src/CMakeFiles/starmagic.dir/rewrite/projection_pruning.cc.o.d"
+  "/root/repo/src/rewrite/pushdown.cc" "src/CMakeFiles/starmagic.dir/rewrite/pushdown.cc.o" "gcc" "src/CMakeFiles/starmagic.dir/rewrite/pushdown.cc.o.d"
+  "/root/repo/src/rewrite/redundant_join.cc" "src/CMakeFiles/starmagic.dir/rewrite/redundant_join.cc.o" "gcc" "src/CMakeFiles/starmagic.dir/rewrite/redundant_join.cc.o.d"
+  "/root/repo/src/sql/ast.cc" "src/CMakeFiles/starmagic.dir/sql/ast.cc.o" "gcc" "src/CMakeFiles/starmagic.dir/sql/ast.cc.o.d"
+  "/root/repo/src/sql/lexer.cc" "src/CMakeFiles/starmagic.dir/sql/lexer.cc.o" "gcc" "src/CMakeFiles/starmagic.dir/sql/lexer.cc.o.d"
+  "/root/repo/src/sql/parser.cc" "src/CMakeFiles/starmagic.dir/sql/parser.cc.o" "gcc" "src/CMakeFiles/starmagic.dir/sql/parser.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/emst_test.dir/emst_test.cc.o"
+  "CMakeFiles/emst_test.dir/emst_test.cc.o.d"
+  "emst_test"
+  "emst_test.pdb"
+  "emst_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/emst_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/outer_join_test.dir/outer_join_test.cc.o"
+  "CMakeFiles/outer_join_test.dir/outer_join_test.cc.o.d"
+  "outer_join_test"
+  "outer_join_test.pdb"
+  "outer_join_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/outer_join_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

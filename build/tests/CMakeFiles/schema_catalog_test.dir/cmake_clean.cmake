@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/schema_catalog_test.dir/schema_catalog_test.cc.o"
+  "CMakeFiles/schema_catalog_test.dir/schema_catalog_test.cc.o.d"
+  "schema_catalog_test"
+  "schema_catalog_test.pdb"
+  "schema_catalog_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/schema_catalog_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
