@@ -28,6 +28,21 @@ int Run() {
     std::fprintf(stderr, "%s\n", s.ToString().c_str());
     return 1;
   }
+  // Index every access path the paper's DB2 setup assumes — including
+  // deptname, so the bound restriction enters through a point probe. The
+  // magic plan turns all of its accesses into such probes; the original
+  // plan still has to materialize the whole view.
+  for (const char* ddl :
+       {"CREATE INDEX emp_workdept ON employee (workdept)",
+        "CREATE INDEX emp_empno ON employee (empno)",
+        "CREATE INDEX dept_deptno ON department (deptno)",
+        "CREATE INDEX dept_deptname ON department (deptname)",
+        "CREATE INDEX dept_mgrno ON department (mgrno)"}) {
+    if (Status s = db.Execute(ddl); !s.ok()) {
+      std::fprintf(stderr, "%s\n", s.ToString().c_str());
+      return 1;
+    }
+  }
 
   const char* query_d =
       "SELECT d.deptname, s.workdept, s.avgsalary "
@@ -55,7 +70,6 @@ int Run() {
     ExecOptions exec_options;
     exec_options.memoize_correlation =
         strategy != ExecutionStrategy::kCorrelated;
-    exec_options.shared_index_cache = std::make_shared<IndexCache>();
     double best_ms = 0;
     int64_t work = 0;
     int64_t rows = 0;

@@ -1,0 +1,158 @@
+// Secondary-index bench: Table-1-style bound workloads executed three
+// ways — EMST with declared indexes, EMST forced to scans, and no EMST —
+// reporting wall time and deterministic TotalWork per combination. The
+// interesting comparison is EMST+index vs EMST+scan: the magic boxes are
+// what turn indexes into point probes.
+//
+// Emits BENCH_index.json (machine-readable) next to the working directory:
+//   [{"workload": ..., "strategy": ..., "total_work": N, "wall_ms": X}, ...]
+
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "workloads.h"
+
+namespace starmagic::bench {
+namespace {
+
+struct Sample {
+  std::string workload;
+  std::string strategy;
+  int64_t total_work = 0;
+  double wall_ms = 0;
+  int64_t rows = 0;
+};
+
+Result<Sample> Measure(Database* db, const std::string& sql,
+                       ExecutionStrategy strategy, bool use_indexes,
+                       int repetitions) {
+  QueryOptions options(strategy);
+  SM_ASSIGN_OR_RETURN(PipelineResult pipeline, db->Explain(sql, options));
+  ExecOptions exec_options;
+  exec_options.memoize_correlation = strategy != ExecutionStrategy::kCorrelated;
+  exec_options.use_secondary_indexes = use_indexes;
+  Sample sample;
+  for (int i = 0; i < repetitions; ++i) {
+    Executor executor(pipeline.graph.get(), db->catalog(), exec_options);
+    auto start = std::chrono::steady_clock::now();
+    SM_ASSIGN_OR_RETURN(Table table, executor.Run());
+    auto end = std::chrono::steady_clock::now();
+    double ms =
+        std::chrono::duration_cast<std::chrono::microseconds>(end - start)
+            .count() /
+        1000.0;
+    if (i == 0 || ms < sample.wall_ms) sample.wall_ms = ms;
+    sample.total_work = executor.stats().TotalWork();
+    sample.rows = table.num_rows();
+  }
+  return sample;
+}
+
+int Run() {
+  Database db;
+  auto check = [](const Status& s) {
+    if (!s.ok()) {
+      std::fprintf(stderr, "setup failed: %s\n", s.ToString().c_str());
+      std::exit(1);
+    }
+  };
+  EmpDeptConfig config;
+  config.num_departments = 400;
+  config.num_employees = 20000;
+  config.num_projects = 4000;
+  check(LoadEmpDept(&db, config));
+  check(LoadProbe(&db, "probe_b", 200, 8, 101));
+  check(LoadProbe(&db, "probe_c", 2000, 40, 102));
+  check(CreateBenchViews(&db));
+  check(db.Execute("CREATE INDEX emp_workdept ON employee (workdept)"));
+  check(db.Execute("CREATE INDEX emp_empno ON employee (empno)"));
+  check(db.Execute(
+      "CREATE INDEX dept_deptno ON department (deptno) USING ORDERED"));
+  check(db.Execute("CREATE INDEX proj_deptno ON project (deptno)"));
+  check(db.AnalyzeAll());
+
+  struct Workload {
+    const char* name;
+    std::string sql;
+  };
+  std::vector<Workload> workloads = {
+      {"expB_small_probe_aggregate_view",
+       "SELECT p.tag, s.avgsalary FROM probe_b p, avgDeptSal s "
+       "WHERE p.pdept = s.workdept"},
+      {"expC_large_probe_join_view",
+       "SELECT p.tag, a.spend FROM probe_c p, deptActivity a "
+       "WHERE p.pdept = a.dept"},
+      {"expG_point_restricted_view",
+       "SELECT d.deptname, s.workdept, s.avgsalary "
+       "FROM department d, avgMgrSal s "
+       "WHERE d.deptno = s.workdept AND d.deptname = 'Planning'"},
+      {"expH_range_condition_magic",
+       "SELECT d.deptname, a.spend FROM department d, deptActivity a "
+       "WHERE a.dept <= d.deptno AND d.deptname = 'Planning'"},
+  };
+
+  struct Mode {
+    const char* name;
+    ExecutionStrategy strategy;
+    bool use_indexes;
+  };
+  const Mode modes[] = {
+      {"emst+index", ExecutionStrategy::kMagic, true},
+      {"emst+scan", ExecutionStrategy::kMagic, false},
+      {"no-emst", ExecutionStrategy::kOriginal, true},
+  };
+
+  std::vector<Sample> samples;
+  std::printf("%-34s %-12s %14s %12s %8s\n", "workload", "strategy",
+              "TotalWork", "wall(ms)", "rows");
+  for (const Workload& w : workloads) {
+    int64_t base_rows = -1;
+    for (const Mode& m : modes) {
+      auto sample = Measure(&db, w.sql, m.strategy, m.use_indexes, 3);
+      if (!sample.ok()) {
+        std::fprintf(stderr, "%s/%s failed: %s\n", w.name, m.name,
+                     sample.status().ToString().c_str());
+        return 1;
+      }
+      sample->workload = w.name;
+      sample->strategy = m.name;
+      std::printf("%-34s %-12s %14lld %12.3f %8lld\n", w.name, m.name,
+                  static_cast<long long>(sample->total_work), sample->wall_ms,
+                  static_cast<long long>(sample->rows));
+      if (base_rows < 0) base_rows = sample->rows;
+      if (sample->rows != base_rows) {
+        std::fprintf(stderr, "%s: row count diverged across modes\n", w.name);
+        return 1;
+      }
+      samples.push_back(std::move(*sample));
+    }
+  }
+
+  FILE* out = std::fopen("BENCH_index.json", "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "cannot write BENCH_index.json\n");
+    return 1;
+  }
+  std::fprintf(out, "[\n");
+  for (size_t i = 0; i < samples.size(); ++i) {
+    const Sample& s = samples[i];
+    std::fprintf(out,
+                 "  {\"workload\": \"%s\", \"strategy\": \"%s\", "
+                 "\"total_work\": %lld, \"wall_ms\": %.3f, \"rows\": %lld}%s\n",
+                 s.workload.c_str(), s.strategy.c_str(),
+                 static_cast<long long>(s.total_work), s.wall_ms,
+                 static_cast<long long>(s.rows),
+                 i + 1 < samples.size() ? "," : "");
+  }
+  std::fprintf(out, "]\n");
+  std::fclose(out);
+  std::printf("\nwrote BENCH_index.json (%zu samples)\n", samples.size());
+  return 0;
+}
+
+}  // namespace
+}  // namespace starmagic::bench
+
+int main() { return starmagic::bench::Run(); }

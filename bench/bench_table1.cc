@@ -48,11 +48,10 @@ Result<Measurement> Measure(Database* db, const std::string& sql,
   best.emst_chosen = pipeline.emst_chosen;
   ExecOptions exec_options;
   exec_options.memoize_correlation = strategy != ExecutionStrategy::kCorrelated;
-  // Indexes persist across queries in a real system; share them so the
-  // timed region measures query execution, not index (re)builds.
-  exec_options.shared_index_cache = std::make_shared<IndexCache>();
   for (int i = 0; i < repetitions; ++i) {
-    // A fresh executor per run: no result caches survive (only indexes).
+    // A fresh executor per run: no result caches survive. Catalog
+    // secondary indexes persist across runs, as in a real system, so the
+    // timed region measures query execution, not index (re)builds.
     Executor executor(pipeline.graph.get(), db->catalog(), exec_options);
     auto start = std::chrono::steady_clock::now();
     SM_ASSIGN_OR_RETURN(Table table, executor.Run());
@@ -90,6 +89,14 @@ int RunAll(int64_t scale) {
   check(LoadProbe(&db, "probe_e", 500 * scale / 100, 40, 105));
   check(LoadProbe(&db, "probe_f", 1, 4, 104));
   check(CreateBenchViews(&db));
+  // Secondary indexes on the base-table join columns, as the paper's DB2
+  // setup assumes: magic boxes drive point probes into these.
+  check(db.Execute("CREATE INDEX emp_workdept ON employee (workdept)"));
+  check(db.Execute("CREATE INDEX emp_empno ON employee (empno)"));
+  check(db.Execute("CREATE INDEX dept_deptno ON department (deptno)"));
+  check(db.Execute("CREATE INDEX dept_deptname ON department (deptname)"));
+  check(db.Execute("CREATE INDEX dept_mgrno ON department (mgrno)"));
+  check(db.Execute("CREATE INDEX proj_deptno ON project (deptno)"));
   check(db.AnalyzeAll());
 
   std::vector<Experiment> experiments = {

@@ -7,6 +7,7 @@
 //   .import <table> <file.csv>            load CSV rows into a table
 //   .export <table> <file.csv>            dump a table to CSV
 //   .tables                               list tables and views
+//   .indexes                              list secondary indexes
 //   .help  .quit
 //
 // Example session:
@@ -73,7 +74,7 @@ bool RunDotCommand(ShellState* state, const std::string& line) {
     std::printf(
         ".strategy original|correlated|magic\n.explain on|off\n"
         ".stats on|off\n.import <table> <file.csv>\n"
-        ".export <table> <file.csv>\n.tables\n.quit\n");
+        ".export <table> <file.csv>\n.tables\n.indexes\n.quit\n");
   } else if (cmd == ".strategy") {
     if (a == "original") state->strategy = ExecutionStrategy::kOriginal;
     else if (a == "correlated") state->strategy = ExecutionStrategy::kCorrelated;
@@ -104,6 +105,14 @@ bool RunDotCommand(ShellState* state, const std::string& line) {
     }
     for (const std::string& name : state->db.catalog()->ViewNames()) {
       std::printf("view  %s\n", name.c_str());
+    }
+  } else if (cmd == ".indexes") {
+    std::vector<std::string> names = state->db.catalog()->IndexNames();
+    if (names.empty()) std::printf("(no indexes)\n");
+    for (const std::string& name : names) {
+      const SecondaryIndex* idx = state->db.catalog()->GetIndex(name);
+      const Table* t = state->db.catalog()->GetTable(idx->table_name());
+      std::printf("%s\n", idx->ToString(t ? &t->schema() : nullptr).c_str());
     }
   } else {
     std::printf("unknown command %s (try .help)\n", cmd.c_str());

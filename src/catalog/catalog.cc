@@ -31,6 +31,7 @@ Status Catalog::DropTable(const std::string& name) {
     return Status::NotFound(StrCat("table '", name, "' does not exist"));
   }
   stats_.erase(key);
+  indexes_.DropTableIndexes(name);
   return Status::OK();
 }
 
@@ -76,6 +77,73 @@ std::vector<std::string> Catalog::ViewNames() const {
   names.reserve(views_.size());
   for (const auto& [key, view] : views_) names.push_back(view.name);
   return names;
+}
+
+Status Catalog::CreateIndex(const std::string& index_name,
+                            const std::string& table_name,
+                            const std::vector<std::string>& column_names,
+                            IndexKind kind) {
+  const Table* table = GetTable(table_name);
+  if (table == nullptr) {
+    return Status::NotFound(StrCat("table '", table_name, "' does not exist"));
+  }
+  std::vector<int> columns;
+  for (const std::string& col : column_names) {
+    int idx = table->schema().FindColumn(col);
+    if (idx < 0) {
+      return Status::NotFound(
+          StrCat("column '", col, "' does not exist in '", table_name, "'"));
+    }
+    columns.push_back(idx);
+  }
+  return indexes_.CreateIndex(index_name, table->name(), std::move(columns),
+                              kind, *table);
+}
+
+Status Catalog::DropIndex(const std::string& index_name) {
+  return indexes_.DropIndex(index_name);
+}
+
+const SecondaryIndex* Catalog::GetIndex(const std::string& index_name) const {
+  return indexes_.GetIndex(index_name);
+}
+
+std::vector<const SecondaryIndex*> Catalog::IndexesOn(
+    const std::string& table_name) const {
+  return indexes_.IndexesOn(table_name);
+}
+
+std::vector<std::string> Catalog::IndexNames() const {
+  return indexes_.IndexNames();
+}
+
+std::optional<IndexMatch> Catalog::FindEqualityIndex(
+    const std::string& table_name,
+    const std::vector<int>& bound_columns) const {
+  const Table* table = GetTable(table_name);
+  if (table == nullptr) return std::nullopt;
+  return indexes_.FindEqualityIndex(table_name, bound_columns, *table);
+}
+
+const SecondaryIndex* Catalog::FindOrderedIndexOn(
+    const std::string& table_name, int column) const {
+  const Table* table = GetTable(table_name);
+  if (table == nullptr) return nullptr;
+  return indexes_.FindOrderedIndexOn(table_name, column, *table);
+}
+
+void Catalog::MaintainAfterAppend(const std::string& table_name) {
+  const Table* table = GetTable(table_name);
+  if (table != nullptr) indexes_.SyncAppend(table_name, *table);
+}
+
+Status Catalog::ReindexTable(const std::string& table_name) {
+  const Table* table = GetTable(table_name);
+  if (table == nullptr) {
+    return Status::NotFound(StrCat("table '", table_name, "' does not exist"));
+  }
+  indexes_.Rebuild(table_name, *table);
+  return Status::OK();
 }
 
 Status Catalog::AnalyzeTable(const std::string& name) {

@@ -6,9 +6,12 @@
 #include <string>
 #include <vector>
 
+#include <optional>
+
 #include "catalog/statistics.h"
 #include "catalog/table.h"
 #include "common/status.h"
+#include "index/index_manager.h"
 
 namespace starmagic {
 
@@ -54,6 +57,37 @@ class Catalog {
   std::vector<std::string> TableNames() const;
   std::vector<std::string> ViewNames() const;
 
+  // --- secondary indexes ---------------------------------------------------
+  /// Creates a secondary index over `column_names` of `table_name` and
+  /// builds it from the table's current rows. Index names are global
+  /// (case-insensitive), like SQL.
+  Status CreateIndex(const std::string& index_name,
+                     const std::string& table_name,
+                     const std::vector<std::string>& column_names,
+                     IndexKind kind);
+  Status DropIndex(const std::string& index_name);
+
+  const SecondaryIndex* GetIndex(const std::string& index_name) const;
+  std::vector<const SecondaryIndex*> IndexesOn(
+      const std::string& table_name) const;
+  std::vector<std::string> IndexNames() const;
+
+  /// Best synced index usable for equality probes on `bound_columns` of
+  /// `table_name` (see IndexManager::FindEqualityIndex).
+  std::optional<IndexMatch> FindEqualityIndex(
+      const std::string& table_name,
+      const std::vector<int>& bound_columns) const;
+  /// A synced ordered index leading on `column`, or nullptr.
+  const SecondaryIndex* FindOrderedIndexOn(const std::string& table_name,
+                                           int column) const;
+
+  /// Index maintenance hooks. The engine calls MaintainAfterAppend after
+  /// INSERT (incremental) and ReindexTable after UPDATE/DELETE (rebuild).
+  /// Code mutating a Table directly must call ReindexTable itself; stale
+  /// indexes are skipped by the planner/executor, never probed.
+  void MaintainAfterAppend(const std::string& table_name);
+  Status ReindexTable(const std::string& table_name);
+
   /// Recomputes statistics for one table (or all tables when name empty).
   Status AnalyzeTable(const std::string& name);
   Status AnalyzeAll();
@@ -69,6 +103,7 @@ class Catalog {
   std::map<std::string, std::unique_ptr<Table>> tables_;
   std::map<std::string, ViewDefinition> views_;
   std::map<std::string, TableStats> stats_;
+  IndexManager indexes_;
 };
 
 }  // namespace starmagic

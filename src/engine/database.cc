@@ -119,6 +119,14 @@ Status Database::ExecuteStatement(const AstStatement& stmt) {
       view.is_recursive = cv.recursive;
       return catalog_.CreateView(std::move(view));
     }
+    case StatementKind::kCreateIndex: {
+      const auto& ci = static_cast<const AstCreateIndex&>(stmt);
+      return catalog_.CreateIndex(
+          ci.name, ci.table, ci.columns,
+          ci.ordered ? IndexKind::kOrdered : IndexKind::kHash);
+    }
+    case StatementKind::kDropIndex:
+      return catalog_.DropIndex(static_cast<const AstDrop&>(stmt).name);
     case StatementKind::kInsert: {
       const auto& ins = static_cast<const AstInsert&>(stmt);
       Table* table = catalog_.GetTable(ins.table);
@@ -128,6 +136,7 @@ Status Database::ExecuteStatement(const AstStatement& stmt) {
       for (const auto& row : ins.rows) {
         SM_RETURN_IF_ERROR(table->Append(row));
       }
+      catalog_.MaintainAfterAppend(ins.table);
       return Status::OK();
     }
     case StatementKind::kUpdate: {
@@ -175,7 +184,7 @@ Status Database::ExecuteStatement(const AstStatement& stmt) {
           row[static_cast<size_t>(target_cols[i])] = std::move(new_values[i]);
         }
       }
-      return Status::OK();
+      return catalog_.ReindexTable(up.table);
     }
     case StatementKind::kDelete: {
       const auto& del = static_cast<const AstDelete&>(stmt);
@@ -202,7 +211,7 @@ Status Database::ExecuteStatement(const AstStatement& stmt) {
         if (!remove) kept.push_back(std::move(row));
       }
       rows = std::move(kept);
-      return Status::OK();
+      return catalog_.ReindexTable(del.table);
     }
     case StatementKind::kDropTable:
       return catalog_.DropTable(static_cast<const AstDrop&>(stmt).name);

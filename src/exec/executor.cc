@@ -13,15 +13,14 @@ std::string ExecStats::ToString() const {
   return StrCat("scanned=", rows_scanned, " produced=", rows_produced,
                 " probes=", join_probes, " evals=", box_evaluations,
                 " fixpoint_iters=", fixpoint_iterations,
+                " index_probes=", index_probes,
+                " index_fetched=", index_rows_fetched,
                 " work=", TotalWork());
 }
 
 Executor::Executor(QueryGraph* graph, const Catalog* catalog,
                    ExecOptions options)
     : graph_(graph), catalog_(catalog), options_(options) {
-  index_cache_ = options_.shared_index_cache != nullptr
-                     ? options_.shared_index_cache.get()
-                     : &owned_index_cache_;
   strata_ = graph_->ComputeStrata();
   for (int box_id : strata_.recursive_boxes) {
     scc_members_[strata_.scc_id[box_id]].push_back(box_id);
@@ -202,25 +201,6 @@ Result<Table> Executor::ComputeBox(Box* box, const RowEnv& env) {
   return Status::Internal("unhandled box kind");
 }
 
-const JoinHashTable* Executor::BaseTableIndex(
-    const Table* table, const std::string& table_key,
-    const std::vector<int>& key_columns) {
-  std::string key = ToLower(table_key);
-  for (int c : key_columns) key += StrCat("#", c);
-  auto it = index_cache_->find(key);
-  if (it != index_cache_->end()) return it->second.get();
-  auto index = std::make_unique<JoinHashTable>();
-  index->Reserve(static_cast<size_t>(table->num_rows()));
-  const auto& rows = table->rows();
-  for (size_t ri = 0; ri < rows.size(); ++ri) {
-    Row keyrow;
-    keyrow.reserve(key_columns.size());
-    for (int c : key_columns) keyrow.push_back(rows[ri][static_cast<size_t>(c)]);
-    index->Insert(std::move(keyrow), static_cast<int>(ri));
-  }
-  return index_cache_->emplace(key, std::move(index)).first->second.get();
-}
-
 // ---------------------------------------------------------------------------
 // Select boxes: left-deep (hash) joins + E/A/Scalar quantifiers
 // ---------------------------------------------------------------------------
@@ -345,6 +325,7 @@ Result<Table> Executor::ComputeSelect(Box* box, const RowEnv& env) {
 
     // Split the filters into hash-joinable equalities and residuals.
     struct HashPred {
+      const Expr* orig;        ///< the full equality conjunct
       const Expr* own_side;    ///< column of q
       const Expr* other_side;  ///< expression over earlier quantifiers
     };
@@ -362,7 +343,7 @@ Result<Table> Executor::ComputeSelect(Box* box, const RowEnv& env) {
             break;
           }
         }
-        if (hashable) hash_preds.push_back(HashPred{cc.column, cc.other});
+        if (hashable) hash_preds.push_back(HashPred{f, cc.column, cc.other});
       }
       if (!hashable) residual.push_back(f);
     }
@@ -408,29 +389,177 @@ Result<Table> Executor::ComputeSelect(Box* box, const RowEnv& env) {
     };
 
     std::vector<std::vector<const Row*>> next;
-    if (!correlated_here && !hash_preds.empty() &&
+    bool step_done = false;
+
+    // Index-nested-loop: when the input is a stored table with a usable
+    // secondary index and the bound side is no larger than the table,
+    // probe the index per combination instead of materializing and
+    // hashing the whole table. This is what makes magic and
+    // supplementary-magic quantifiers cheap: the (small) magic box drives
+    // point lookups into the base data.
+    if (!correlated_here && options_.use_secondary_indexes &&
         q->input->kind() == BoxKind::kBaseTable) {
-      // Indexed access path: probe a persistent hash index on the stored
-      // table instead of scanning it.
       const Table* table = catalog_->GetTable(q->input->table_name());
-      if (table == nullptr) {
-        return Status::ExecutionError(
-            StrCat("stored table '", q->input->table_name(), "' missing"));
+      if (table != nullptr &&
+          static_cast<int64_t>(current.size()) <= table->num_rows()) {
+        if (!hash_preds.empty()) {
+          // Equality probe (hash or ordered-prefix index).
+          std::vector<int> bound_cols;
+          for (const HashPred& hp : hash_preds) {
+            bound_cols.push_back(hp.own_side->column_index);
+          }
+          std::optional<IndexMatch> match =
+              catalog_->FindEqualityIndex(q->input->table_name(), bound_cols);
+          if (match.has_value()) {
+            // Pair each index key column with the expression driving it;
+            // equality conjuncts the index does not cover stay residual.
+            std::vector<const Expr*> key_exprs;
+            std::vector<bool> used(hash_preds.size(), false);
+            for (int col : match->key_columns) {
+              for (size_t i = 0; i < hash_preds.size(); ++i) {
+                if (!used[i] &&
+                    hash_preds[i].own_side->column_index == col) {
+                  used[i] = true;
+                  key_exprs.push_back(hash_preds[i].other_side);
+                  break;
+                }
+              }
+            }
+            std::vector<const Expr*> index_residual = residual;
+            for (size_t i = 0; i < hash_preds.size(); ++i) {
+              if (!used[i]) index_residual.push_back(hash_preds[i].orig);
+            }
+            std::vector<int> ids;
+            for (const auto& combo : current) {
+              RowEnv inner(&box_env);
+              for (size_t i = 0; i < bound.size(); ++i) {
+                inner.Bind(bound[i], combo[i]);
+              }
+              Row key;
+              key.reserve(key_exprs.size());
+              for (const Expr* e : key_exprs) {
+                SM_ASSIGN_OR_RETURN(Value v, EvalScalar(*e, inner));
+                key.push_back(std::move(v));
+              }
+              ++stats_.index_probes;
+              ids.clear();
+              match->index->ProbeEqual(key, &ids);
+              for (int ri : ids) {
+                const Row* row = &table->rows()[static_cast<size_t>(ri)];
+                ++stats_.index_rows_fetched;
+                inner.Bind(q->id, row);
+                bool keep = true;
+                for (const Expr* f : index_residual) {
+                  SM_ASSIGN_OR_RETURN(TriBool v, EvalPredicate(*f, inner));
+                  if (v != TriBool::kTrue) {
+                    keep = false;
+                    break;
+                  }
+                }
+                if (keep) {
+                  auto combo2 = combo;
+                  combo2.push_back(row);
+                  next.push_back(std::move(combo2));
+                  if (static_cast<int64_t>(next.size()) >
+                      options_.max_rows_per_box) {
+                    return Status::ExecutionError(
+                        "row limit exceeded during join");
+                  }
+                }
+              }
+              inner.Unbind(q->id);
+            }
+            step_done = true;
+          }
+        } else {
+          // Range probe through an ordered index (condition-magic shapes:
+          // a c-adorned restriction like t.c < <bound>). The probed
+          // conjunct is re-checked with the other residuals, so the index
+          // only narrows the scan.
+          const Expr* range_pred = nullptr;
+          ColumnComparison range_cc;
+          for (const Expr* f : residual) {
+            ColumnComparison cc;
+            if (!MatchColumnComparisonFor(*f, q->id, &cc)) continue;
+            if (cc.op != BinaryOp::kLt && cc.op != BinaryOp::kLtEq &&
+                cc.op != BinaryOp::kGt && cc.op != BinaryOp::kGtEq) {
+              continue;
+            }
+            bool available = true;
+            for (int rid : cc.other->ReferencedQuantifiers()) {
+              if (rid == q->id ||
+                  (own_qids.count(rid) && !seen.count(rid))) {
+                available = false;
+                break;
+              }
+            }
+            if (available) {
+              range_pred = f;
+              range_cc = cc;
+              break;
+            }
+          }
+          const SecondaryIndex* ordered =
+              range_pred == nullptr
+                  ? nullptr
+                  : catalog_->FindOrderedIndexOn(
+                        q->input->table_name(),
+                        range_cc.column->column_index);
+          if (ordered != nullptr) {
+            std::vector<int> ids;
+            for (const auto& combo : current) {
+              RowEnv inner(&box_env);
+              for (size_t i = 0; i < bound.size(); ++i) {
+                inner.Bind(bound[i], combo[i]);
+              }
+              SM_ASSIGN_OR_RETURN(Value v,
+                                  EvalScalar(*range_cc.other, inner));
+              const Value* lo = nullptr;
+              const Value* hi = nullptr;
+              bool inclusive = range_cc.op == BinaryOp::kLtEq ||
+                               range_cc.op == BinaryOp::kGtEq;
+              if (range_cc.op == BinaryOp::kLt ||
+                  range_cc.op == BinaryOp::kLtEq) {
+                hi = &v;
+              } else {
+                lo = &v;
+              }
+              ++stats_.index_probes;
+              ids.clear();
+              ordered->ProbeRange(lo, inclusive, hi, inclusive, &ids);
+              for (int ri : ids) {
+                const Row* row = &table->rows()[static_cast<size_t>(ri)];
+                ++stats_.index_rows_fetched;
+                inner.Bind(q->id, row);
+                bool keep = true;
+                for (const Expr* f : residual) {
+                  SM_ASSIGN_OR_RETURN(TriBool tv, EvalPredicate(*f, inner));
+                  if (tv != TriBool::kTrue) {
+                    keep = false;
+                    break;
+                  }
+                }
+                if (keep) {
+                  auto combo2 = combo;
+                  combo2.push_back(row);
+                  next.push_back(std::move(combo2));
+                  if (static_cast<int64_t>(next.size()) >
+                      options_.max_rows_per_box) {
+                    return Status::ExecutionError(
+                        "row limit exceeded during join");
+                  }
+                }
+              }
+              inner.Unbind(q->id);
+            }
+            step_done = true;
+          }
+        }
       }
-      std::vector<int> key_cols;
-      for (const HashPred& hp : hash_preds) {
-        key_cols.push_back(hp.own_side->column_index);
-      }
-      const JoinHashTable* index =
-          BaseTableIndex(table, q->input->table_name(), key_cols);
-      auto row_at = [table](int ri) {
-        return &table->rows()[static_cast<size_t>(ri)];
-      };
-      for (const auto& combo : current) {
-        RowEnv inner(&box_env);
-        for (size_t i = 0; i < bound.size(); ++i) inner.Bind(bound[i], combo[i]);
-        SM_RETURN_IF_ERROR(probe_matches(combo, &inner, *index, row_at, &next));
-      }
+    }
+
+    if (step_done) {
+      // handled above via a secondary index
     } else if (correlated_here) {
       // Nested-loop: evaluate the input once per current combination.
       Table scratch;

@@ -15,19 +15,15 @@
 
 namespace starmagic {
 
-/// Persistent hash indexes over stored-table columns, shareable across
-/// executor instances (indexes outlive queries in a real system).
-using IndexCache = std::map<std::string, std::unique_ptr<JoinHashTable>>;
-
 struct ExecOptions {
   /// Cache correlated box results per distinct binding. Disabled by the
   /// Correlated strategy to model DB2-style nested iteration, which
   /// re-evaluates the inner query for every outer row.
   bool memoize_correlation = true;
-  /// When set, base-table indexes are read from / built into this shared
-  /// cache instead of a per-executor one. The tables must not change while
-  /// the cache is alive.
-  std::shared_ptr<IndexCache> shared_index_cache;
+  /// Probe catalog secondary indexes instead of building transient hash
+  /// tables when a matching index exists and the build side is smaller
+  /// than the stored table. Disable to force scans (A/B benchmarks).
+  bool use_secondary_indexes = true;
   /// Hard cap on rows produced by any single box evaluation (safety).
   int64_t max_rows_per_box = 200'000'000;
   /// Cap on fixpoint iterations for recursive components.
@@ -42,8 +38,13 @@ struct ExecStats {
   int64_t join_probes = 0;      ///< hash probes + nested-loop comparisons
   int64_t box_evaluations = 0;  ///< materializations (incl. per-binding)
   int64_t fixpoint_iterations = 0;
+  int64_t index_probes = 0;       ///< secondary-index lookups (eq or range)
+  int64_t index_rows_fetched = 0; ///< rows returned by index lookups
 
-  int64_t TotalWork() const { return rows_scanned + rows_produced + join_probes; }
+  int64_t TotalWork() const {
+    return rows_scanned + rows_produced + join_probes + index_probes +
+           index_rows_fetched;
+  }
   std::string ToString() const;
 };
 
@@ -88,16 +89,7 @@ class Executor {
   ExecOptions options_;
   ExecStats stats_;
 
-  /// Lazily built hash index over base-table columns: equality probes
-  /// (magic joins, correlated lookups) touch only matching rows, modelling
-  /// the indexed access paths of a real system.
-  const JoinHashTable* BaseTableIndex(const Table* table,
-                                      const std::string& table_key,
-                                      const std::vector<int>& key_columns);
-
   std::map<int, Table> cache_;  ///< uncorrelated results, keyed by box id
-  IndexCache owned_index_cache_;
-  IndexCache* index_cache_ = nullptr;  ///< owned or shared
   std::map<int, std::unordered_map<Row, Table, RowHash, RowEq>> corr_cache_;
   std::map<int, std::vector<std::pair<int, int>>> ext_refs_;
   QueryGraph::StrataInfo strata_;

@@ -1,0 +1,151 @@
+#include "index/index_manager.h"
+
+#include <algorithm>
+#include <set>
+
+#include "common/string_util.h"
+
+namespace starmagic {
+
+std::string IndexManager::Key(const std::string& name) { return ToLower(name); }
+
+Status IndexManager::CreateIndex(const std::string& index_name,
+                                 const std::string& table_name,
+                                 std::vector<int> columns, IndexKind kind,
+                                 const Table& table) {
+  if (columns.empty()) {
+    return Status::InvalidArgument(
+        StrCat("index '", index_name, "' has no columns"));
+  }
+  std::set<int> distinct(columns.begin(), columns.end());
+  if (distinct.size() != columns.size()) {
+    return Status::InvalidArgument(
+        StrCat("index '", index_name, "' repeats a column"));
+  }
+  std::string key = Key(index_name);
+  if (by_name_.count(key)) {
+    return Status::AlreadyExists(
+        StrCat("index '", index_name, "' already exists"));
+  }
+  auto index = std::make_unique<SecondaryIndex>(index_name, table_name,
+                                                std::move(columns), kind);
+  index->Build(table);
+  by_table_[Key(table_name)].push_back(index.get());
+  by_name_.emplace(std::move(key), std::move(index));
+  return Status::OK();
+}
+
+Status IndexManager::DropIndex(const std::string& index_name) {
+  auto it = by_name_.find(Key(index_name));
+  if (it == by_name_.end()) {
+    return Status::NotFound(StrCat("index '", index_name, "' does not exist"));
+  }
+  auto& per_table = by_table_[Key(it->second->table_name())];
+  per_table.erase(
+      std::remove(per_table.begin(), per_table.end(), it->second.get()),
+      per_table.end());
+  by_name_.erase(it);
+  return Status::OK();
+}
+
+void IndexManager::DropTableIndexes(const std::string& table_name) {
+  auto it = by_table_.find(Key(table_name));
+  if (it == by_table_.end()) return;
+  for (SecondaryIndex* index : it->second) by_name_.erase(Key(index->name()));
+  by_table_.erase(it);
+}
+
+const SecondaryIndex* IndexManager::GetIndex(
+    const std::string& index_name) const {
+  auto it = by_name_.find(Key(index_name));
+  return it == by_name_.end() ? nullptr : it->second.get();
+}
+
+std::vector<const SecondaryIndex*> IndexManager::IndexesOn(
+    const std::string& table_name) const {
+  std::vector<const SecondaryIndex*> out;
+  auto it = by_table_.find(Key(table_name));
+  if (it == by_table_.end()) return out;
+  out.assign(it->second.begin(), it->second.end());
+  return out;
+}
+
+std::vector<std::string> IndexManager::IndexNames() const {
+  std::vector<std::string> names;
+  names.reserve(by_name_.size());
+  for (const auto& [key, index] : by_name_) names.push_back(index->name());
+  return names;
+}
+
+std::optional<IndexMatch> IndexManager::FindEqualityIndex(
+    const std::string& table_name, const std::vector<int>& bound_columns,
+    const Table& table) const {
+  auto it = by_table_.find(Key(table_name));
+  if (it == by_table_.end()) return std::nullopt;
+  std::set<int> bound(bound_columns.begin(), bound_columns.end());
+
+  std::optional<IndexMatch> best;
+  auto better = [&best](size_t coverage, IndexKind kind) {
+    if (!best.has_value()) return true;
+    if (coverage != best->key_columns.size()) {
+      return coverage > best->key_columns.size();
+    }
+    return kind == IndexKind::kHash && best->index->kind() != IndexKind::kHash;
+  };
+
+  for (const SecondaryIndex* index : it->second) {
+    if (!index->SyncedWith(table)) continue;
+    const std::vector<int>& cols = index->columns();
+    if (index->kind() == IndexKind::kHash) {
+      // Hash probes need a value for every index column.
+      bool covered = true;
+      for (int c : cols) {
+        if (!bound.count(c)) {
+          covered = false;
+          break;
+        }
+      }
+      if (covered && better(cols.size(), IndexKind::kHash)) {
+        best = IndexMatch{index, cols};
+      }
+    } else {
+      // Ordered probes use the longest fully-bound key prefix.
+      size_t prefix = 0;
+      while (prefix < cols.size() && bound.count(cols[prefix])) ++prefix;
+      if (prefix > 0 && better(prefix, IndexKind::kOrdered)) {
+        best = IndexMatch{
+            index, std::vector<int>(cols.begin(),
+                                    cols.begin() + static_cast<long>(prefix))};
+      }
+    }
+  }
+  return best;
+}
+
+const SecondaryIndex* IndexManager::FindOrderedIndexOn(
+    const std::string& table_name, int column, const Table& table) const {
+  auto it = by_table_.find(Key(table_name));
+  if (it == by_table_.end()) return nullptr;
+  for (const SecondaryIndex* index : it->second) {
+    if (index->kind() == IndexKind::kOrdered &&
+        index->columns()[0] == column && index->SyncedWith(table)) {
+      return index;
+    }
+  }
+  return nullptr;
+}
+
+void IndexManager::SyncAppend(const std::string& table_name,
+                              const Table& table) {
+  auto it = by_table_.find(Key(table_name));
+  if (it == by_table_.end()) return;
+  for (SecondaryIndex* index : it->second) index->SyncTo(table);
+}
+
+void IndexManager::Rebuild(const std::string& table_name, const Table& table) {
+  auto it = by_table_.find(Key(table_name));
+  if (it == by_table_.end()) return;
+  for (SecondaryIndex* index : it->second) index->Build(table);
+}
+
+}  // namespace starmagic

@@ -1,0 +1,79 @@
+#ifndef STARMAGIC_INDEX_INDEX_MANAGER_H_
+#define STARMAGIC_INDEX_INDEX_MANAGER_H_
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "index/secondary_index.h"
+
+namespace starmagic {
+
+/// An index chosen to serve a set of equality-bound columns. `key_columns`
+/// are table column ordinals in the order the probe key must be assembled
+/// (the index's own column order, possibly a prefix for ordered indexes);
+/// columns outside `key_columns` stay as residual predicates.
+struct IndexMatch {
+  const SecondaryIndex* index = nullptr;
+  std::vector<int> key_columns;
+};
+
+/// Registry of secondary indexes, keyed by (globally unique) index name
+/// and grouped per table. Owned by the Catalog; names and table names are
+/// matched case-insensitively.
+class IndexManager {
+ public:
+  IndexManager() = default;
+  IndexManager(const IndexManager&) = delete;
+  IndexManager& operator=(const IndexManager&) = delete;
+
+  /// Creates an index and builds it from `table`'s current rows.
+  Status CreateIndex(const std::string& index_name,
+                     const std::string& table_name, std::vector<int> columns,
+                     IndexKind kind, const Table& table);
+
+  Status DropIndex(const std::string& index_name);
+
+  /// Removes every index on `table_name` (DROP TABLE).
+  void DropTableIndexes(const std::string& table_name);
+
+  const SecondaryIndex* GetIndex(const std::string& index_name) const;
+  std::vector<const SecondaryIndex*> IndexesOn(
+      const std::string& table_name) const;
+  std::vector<std::string> IndexNames() const;
+
+  /// Best index on `table_name` usable for equality probes given values
+  /// for `bound_columns` (any order): the one covering the most columns,
+  /// hash preferred over ordered at equal coverage. Stale indexes (not
+  /// `SyncedWith(table)`) are skipped.
+  std::optional<IndexMatch> FindEqualityIndex(
+      const std::string& table_name, const std::vector<int>& bound_columns,
+      const Table& table) const;
+
+  /// A synced ordered index whose leading column is `column` (for range
+  /// probes), or nullptr.
+  const SecondaryIndex* FindOrderedIndexOn(const std::string& table_name,
+                                           int column,
+                                           const Table& table) const;
+
+  /// Incrementally indexes rows appended to `table_name` since the last
+  /// sync (after INSERT).
+  void SyncAppend(const std::string& table_name, const Table& table);
+
+  /// Fully rebuilds every index on `table_name` (after UPDATE/DELETE or
+  /// direct Table mutation).
+  void Rebuild(const std::string& table_name, const Table& table);
+
+ private:
+  static std::string Key(const std::string& name);
+
+  std::map<std::string, std::unique_ptr<SecondaryIndex>> by_name_;
+  std::map<std::string, std::vector<SecondaryIndex*>> by_table_;
+};
+
+}  // namespace starmagic
+
+#endif  // STARMAGIC_INDEX_INDEX_MANAGER_H_

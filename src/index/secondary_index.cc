@@ -1,0 +1,134 @@
+#include "index/secondary_index.h"
+
+#include "common/string_util.h"
+
+namespace starmagic {
+
+const char* IndexKindName(IndexKind kind) {
+  switch (kind) {
+    case IndexKind::kHash:
+      return "HASH";
+    case IndexKind::kOrdered:
+      return "ORDERED";
+  }
+  return "?";
+}
+
+Row SecondaryIndex::ExtractKey(const Row& row) const {
+  Row key;
+  key.reserve(columns_.size());
+  for (int c : columns_) key.push_back(row[static_cast<size_t>(c)]);
+  return key;
+}
+
+void SecondaryIndex::InsertRow(const Row& row, int position) {
+  Row key = ExtractKey(row);
+  if (kind_ == IndexKind::kHash) {
+    // SQL equi-join semantics: NULL keys can never match a probe, so they
+    // are not stored at all.
+    for (const Value& v : key) {
+      if (v.is_null()) return;
+    }
+    hash_map_[std::move(key)].push_back(position);
+  } else {
+    ordered_map_[std::move(key)].push_back(position);
+  }
+}
+
+void SecondaryIndex::Build(const Table& table) {
+  hash_map_.clear();
+  ordered_map_.clear();
+  const auto& rows = table.rows();
+  if (kind_ == IndexKind::kHash) hash_map_.reserve(rows.size());
+  for (size_t i = 0; i < rows.size(); ++i) {
+    InsertRow(rows[i], static_cast<int>(i));
+  }
+  synced_rows_ = table.num_rows();
+}
+
+void SecondaryIndex::SyncTo(const Table& table) {
+  if (table.num_rows() < synced_rows_) {
+    Build(table);
+    return;
+  }
+  const auto& rows = table.rows();
+  for (int64_t i = synced_rows_; i < table.num_rows(); ++i) {
+    InsertRow(rows[static_cast<size_t>(i)], static_cast<int>(i));
+  }
+  synced_rows_ = table.num_rows();
+}
+
+void SecondaryIndex::ProbeEqual(const Row& key, std::vector<int>* out) const {
+  for (const Value& v : key) {
+    if (v.is_null()) return;
+  }
+  if (kind_ == IndexKind::kHash) {
+    if (key.size() != columns_.size()) return;  // hash needs the full key
+    auto it = hash_map_.find(key);
+    if (it == hash_map_.end()) return;
+    out->insert(out->end(), it->second.begin(), it->second.end());
+    return;
+  }
+  // Ordered: scan the contiguous run of keys sharing the probed prefix.
+  if (key.size() > columns_.size()) return;
+  for (auto it = ordered_map_.lower_bound(key); it != ordered_map_.end();
+       ++it) {
+    bool prefix_equal = true;
+    for (size_t c = 0; c < key.size(); ++c) {
+      if (Value::CompareTotal(it->first[c], key[c]) != 0) {
+        prefix_equal = false;
+        break;
+      }
+    }
+    if (!prefix_equal) break;
+    out->insert(out->end(), it->second.begin(), it->second.end());
+  }
+}
+
+void SecondaryIndex::ProbeRange(const Value* lo, bool lo_inclusive,
+                                const Value* hi, bool hi_inclusive,
+                                std::vector<int>* out) const {
+  if (kind_ != IndexKind::kOrdered) return;
+  if ((lo != nullptr && lo->is_null()) || (hi != nullptr && hi->is_null())) {
+    return;  // comparisons with NULL are unknown, never true
+  }
+  auto it = ordered_map_.begin();
+  if (lo != nullptr) it = ordered_map_.lower_bound(Row{*lo});
+  for (; it != ordered_map_.end(); ++it) {
+    const Value& leading = it->first[0];
+    // NULL sorts first under CompareTotal; with no lower bound the scan
+    // starts inside the NULL run, which never satisfies a comparison.
+    if (leading.is_null()) continue;
+    if (lo != nullptr) {
+      int c = Value::CompareTotal(leading, *lo);
+      if (c < 0 || (c == 0 && !lo_inclusive)) continue;
+    }
+    if (hi != nullptr) {
+      int c = Value::CompareTotal(leading, *hi);
+      if (c > 0 || (c == 0 && !hi_inclusive)) break;
+    }
+    out->insert(out->end(), it->second.begin(), it->second.end());
+  }
+}
+
+int64_t SecondaryIndex::distinct_keys() const {
+  return kind_ == IndexKind::kHash
+             ? static_cast<int64_t>(hash_map_.size())
+             : static_cast<int64_t>(ordered_map_.size());
+}
+
+std::string SecondaryIndex::ToString(const Schema* schema) const {
+  std::vector<std::string> cols;
+  for (int c : columns_) {
+    if (schema != nullptr && c >= 0 && c < schema->num_columns()) {
+      cols.push_back(schema->column(c).name);
+    } else {
+      cols.push_back(StrCat("#", c));
+    }
+  }
+  return StrCat(name_, " ON ", table_name_, " (", Join(cols, ", "), ") USING ",
+                IndexKindName(kind_), " [", synced_rows_, " rows, ",
+                distinct_keys(), " keys]");
+}
+
+}  // namespace starmagic

@@ -1,0 +1,104 @@
+#ifndef STARMAGIC_INDEX_SECONDARY_INDEX_H_
+#define STARMAGIC_INDEX_SECONDARY_INDEX_H_
+
+#include <map>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "catalog/table.h"
+#include "common/row.h"
+
+namespace starmagic {
+
+/// Physical organization of a secondary index.
+///  - kHash: equality probes over the full column list, O(1) per probe.
+///  - kOrdered: a total-order multimap (CompareTotal lexicographic over the
+///    column list); supports equality probes on any key prefix and range
+///    probes on the leading column.
+enum class IndexKind { kHash, kOrdered };
+
+const char* IndexKindName(IndexKind kind);
+
+/// A secondary index over one or more columns of a stored table: key row →
+/// row positions in the table's row vector. Indexes follow SQL equi-join
+/// semantics: a probe key containing NULL matches nothing, and (for hash
+/// indexes) entries whose key contains NULL are not stored.
+///
+/// Maintenance contract: the engine appends new rows incrementally
+/// (`SyncTo`) after INSERT and rebuilds (`Build`) after UPDATE/DELETE.
+/// Code that mutates a Table directly (tests, bulk loaders) must call
+/// `Catalog::ReindexTable` — until then `SyncedWith` is false and the
+/// executor/optimizer fall back to scans, so staleness costs performance,
+/// never correctness.
+class SecondaryIndex {
+ public:
+  SecondaryIndex(std::string name, std::string table_name,
+                 std::vector<int> columns, IndexKind kind)
+      : name_(std::move(name)),
+        table_name_(std::move(table_name)),
+        columns_(std::move(columns)),
+        kind_(kind) {}
+
+  const std::string& name() const { return name_; }
+  const std::string& table_name() const { return table_name_; }
+  /// Table column ordinals, in index key order.
+  const std::vector<int>& columns() const { return columns_; }
+  IndexKind kind() const { return kind_; }
+
+  /// Full rebuild from the table's current rows.
+  void Build(const Table& table);
+
+  /// Incrementally indexes rows appended since the last Build/SyncTo. If
+  /// the table shrank (rows deleted), falls back to a full rebuild.
+  void SyncTo(const Table& table);
+
+  /// Number of table rows reflected by the index.
+  int64_t synced_rows() const { return synced_rows_; }
+  /// True when the index covers exactly the table's current rows. An
+  /// in-place UPDATE keeps the count equal, which is why DML goes through
+  /// the catalog's maintenance hooks rather than this check alone.
+  bool SyncedWith(const Table& table) const {
+    return synced_rows_ == table.num_rows();
+  }
+
+  /// Appends to `out` the positions of rows whose key equals `key`. The
+  /// key may be a strict prefix of `columns()` for ordered indexes; hash
+  /// indexes require the full key. Keys containing NULL match nothing.
+  void ProbeEqual(const Row& key, std::vector<int>* out) const;
+
+  /// Ordered indexes only: appends positions of rows whose *leading* key
+  /// column lies within [lo, hi]; nullptr bound = unbounded on that side.
+  /// Rows with a NULL leading column never match. No-op for hash indexes.
+  void ProbeRange(const Value* lo, bool lo_inclusive, const Value* hi,
+                  bool hi_inclusive, std::vector<int>* out) const;
+
+  /// Number of distinct keys stored (diagnostics / statistics).
+  int64_t distinct_keys() const;
+
+  /// "idx_name ON t (c1, c2) USING HASH [rows]" for catalogs and shells.
+  std::string ToString(const Schema* schema = nullptr) const;
+
+ private:
+  Row ExtractKey(const Row& row) const;
+  void InsertRow(const Row& row, int position);
+
+  std::string name_;
+  std::string table_name_;
+  std::vector<int> columns_;
+  IndexKind kind_;
+  int64_t synced_rows_ = 0;
+
+  struct RowLess {
+    bool operator()(const Row& a, const Row& b) const {
+      return CompareRows(a, b) < 0;
+    }
+  };
+  /// Exactly one of the two maps is populated, per `kind_`.
+  std::unordered_map<Row, std::vector<int>, RowHash, RowEq> hash_map_;
+  std::map<Row, std::vector<int>, RowLess> ordered_map_;
+};
+
+}  // namespace starmagic
+
+#endif  // STARMAGIC_INDEX_SECONDARY_INDEX_H_

@@ -102,35 +102,12 @@ double CostModel::BoxCost(const Box* box, const std::vector<int>& order,
   }
   apply_ready_preds();
 
-  // True when joining `q` at this point can use an indexed access path:
-  // a stored table probed through an equality predicate whose other side
-  // is already available. The executor maintains such hash indexes, so
-  // the scan/build cost of the input is not paid.
-  auto indexable = [&](const Quantifier& q) {
-    if (q.input == nullptr || q.input->kind() != BoxKind::kBaseTable) {
-      return false;
-    }
-    if (seen.empty()) return false;  // first quantifier: plain scan
-    for (const ExprPtr& p : box->predicates()) {
-      ColumnComparison cc;
-      if (!MatchColumnComparisonFor(*p, q.id, &cc) || cc.op != BinaryOp::kEq) {
-        continue;
-      }
-      bool available = true;
-      for (int rid : cc.other->ReferencedQuantifiers()) {
-        if (own.count(rid) && !seen.count(rid)) {
-          available = false;
-          break;
-        }
-      }
-      if (available) return true;
-    }
-    return false;
-  };
-
   auto join_step = [&](const Quantifier& q) {
     double r = estimator_->Estimate(q.input).rows;
-    if (!indexable(q)) {
+    // A declared secondary index covering the bound columns lets the
+    // executor probe per intermediate row instead of scanning/building
+    // the input, so the input-size charge is skipped.
+    if (UsableIndex(box, q, seen) == nullptr) {
       cost += r;  // build the hash table / scan the input
     }
     cost += rows;  // probe with the current intermediate result
@@ -163,6 +140,51 @@ double CostModel::BoxCost(const Box* box, const std::vector<int>& order,
   if (box->enforce_distinct()) cost += rows;
   if (out_rows != nullptr) *out_rows = std::max(rows, 1e-3);
   return cost;
+}
+
+const SecondaryIndex* CostModel::UsableIndex(const Box* box,
+                                             const Quantifier& q,
+                                             const std::set<int>& bound) const {
+  if (catalog_ == nullptr) return nullptr;
+  if (q.input == nullptr || q.input->kind() != BoxKind::kBaseTable) {
+    return nullptr;
+  }
+  std::set<int> own;
+  for (const auto& oq : box->quantifiers()) own.insert(oq->id);
+
+  // Mirror the executor's split: equality conjuncts whose other side is
+  // already available drive an equality probe; only when there are none
+  // does a range conjunct drive an ordered-index range probe.
+  std::vector<int> eq_cols;
+  int range_col = -1;
+  for (const ExprPtr& p : box->predicates()) {
+    ColumnComparison cc;
+    if (!MatchColumnComparisonFor(*p, q.id, &cc)) continue;
+    bool available = true;
+    for (int rid : cc.other->ReferencedQuantifiers()) {
+      if (rid == q.id || (own.count(rid) && !bound.count(rid))) {
+        available = false;
+        break;
+      }
+    }
+    if (!available) continue;
+    if (cc.op == BinaryOp::kEq) {
+      eq_cols.push_back(cc.column->column_index);
+    } else if (range_col < 0 &&
+               (cc.op == BinaryOp::kLt || cc.op == BinaryOp::kLtEq ||
+                cc.op == BinaryOp::kGt || cc.op == BinaryOp::kGtEq)) {
+      range_col = cc.column->column_index;
+    }
+  }
+  if (!eq_cols.empty()) {
+    std::optional<IndexMatch> match =
+        catalog_->FindEqualityIndex(q.input->table_name(), eq_cols);
+    return match.has_value() ? match->index : nullptr;
+  }
+  if (range_col >= 0) {
+    return catalog_->FindOrderedIndexOn(q.input->table_name(), range_col);
+  }
+  return nullptr;
 }
 
 double CostModel::CorrelationMultiplier(const Box* box) {

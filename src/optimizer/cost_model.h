@@ -11,6 +11,12 @@ namespace starmagic {
 /// produced by left-deep hash-join pipelines, once per box evaluation;
 /// boxes whose subtree carries correlation (references to outer
 /// quantifiers) are charged once per estimated outer binding.
+///
+/// When a catalog is supplied, base-table joins whose bound columns are
+/// covered by a declared secondary index skip the scan/build charge (the
+/// executor probes the index instead); without a usable index the full
+/// input is charged. This is what makes an index flip the paper's C1/C2
+/// comparison on bound queries.
 class CostModel {
  public:
   struct Options {
@@ -19,11 +25,13 @@ class CostModel {
     bool memoized_correlation = true;
   };
 
-  CostModel(const QueryGraph* graph, CardinalityEstimator* estimator)
-      : graph_(graph), estimator_(estimator) {}
   CostModel(const QueryGraph* graph, CardinalityEstimator* estimator,
-            Options options)
-      : graph_(graph), estimator_(estimator), options_(options) {}
+            const Catalog* catalog)
+      : graph_(graph), estimator_(estimator), catalog_(catalog) {}
+  CostModel(const QueryGraph* graph, CardinalityEstimator* estimator,
+            const Catalog* catalog, Options options)
+      : graph_(graph), estimator_(estimator), catalog_(catalog),
+        options_(options) {}
 
   /// Cost of evaluating `box` once with the given ForEach join order
   /// (quantifier ids). Also returns the output row estimate via out param.
@@ -37,9 +45,16 @@ class CostModel {
   /// Estimated number of times `box` is evaluated (1 when uncorrelated).
   double CorrelationMultiplier(const Box* box);
 
+  /// The secondary index (if any) the executor would probe when joining
+  /// quantifier `qid` of `box` after the quantifiers in `bound` are
+  /// available. Returns nullptr when no declared, synced index applies.
+  const SecondaryIndex* UsableIndex(const Box* box, const Quantifier& q,
+                                    const std::set<int>& bound) const;
+
  private:
   const QueryGraph* graph_;
   CardinalityEstimator* estimator_;
+  const Catalog* catalog_;
   Options options_;
 };
 

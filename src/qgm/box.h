@@ -98,6 +98,12 @@ class Box {
   const std::string& table_name() const { return table_name_; }
   void set_table_name(std::string name) { table_name_ = std::move(name); }
 
+  /// Optimizer annotation for base-table boxes: how the chosen plan reaches
+  /// the stored rows ("scan", "index probe via emp_workdept", ...). Purely
+  /// informational — shown by the printer / Explain reports.
+  const std::string& access_path() const { return access_path_; }
+  void set_access_path(std::string path) { access_path_ = std::move(path); }
+
   // --- quantifiers ---------------------------------------------------------
   const std::vector<std::unique_ptr<Quantifier>>& quantifiers() const {
     return quantifiers_;
@@ -197,6 +203,7 @@ class Box {
   BoxRole role_ = BoxRole::kRegular;
   std::string op_name_;
   std::string table_name_;
+  std::string access_path_;
   std::vector<std::unique_ptr<Quantifier>> quantifiers_;
   std::vector<ExprPtr> predicates_;
   std::vector<OutputColumn> outputs_;

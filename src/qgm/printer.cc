@@ -46,7 +46,11 @@ std::string PrintGraph(const QueryGraph& graph) {
                   box->enforce_distinct() ? " DISTINCT" : "",
                   box->duplicate_free() ? " dup-free" : "", "\n");
     if (box->kind() == BoxKind::kBaseTable) {
-      out += StrCat("  table: ", box->table_name(), "\n");
+      out += StrCat("  table: ", box->table_name(),
+                    box->access_path().empty()
+                        ? ""
+                        : StrCat(" [", box->access_path(), "]"),
+                    "\n");
     }
     if (box->kind() == BoxKind::kSetOp) {
       out += StrCat("  setop: ", box->op_name(), "\n");

@@ -50,22 +50,29 @@ Result<int> RewriteEngine::Run(RewriteContext* ctx) {
     // Snapshot the traversal; rules may mutate the graph, in which case we
     // restart the pass (boxes may be dead).
     std::vector<Box*> order = DepthFirstBoxes(*ctx->graph);
-    for (Box* box : order) {
-      // The box might have been GC'ed by a previous rule in this pass;
-      // verify it is still live.
-      if (ctx->graph->GetBox(box->id()) != box) {
+    // Ids are captured while every snapshot box is still live: a rule may
+    // GC boxes mid-pass, after which `box` must not be dereferenced until
+    // the id lookup below proves it still exists.
+    std::vector<int> ids;
+    ids.reserve(order.size());
+    for (const Box* b : order) ids.push_back(b->id());
+    for (size_t i = 0; i < order.size(); ++i) {
+      Box* box = order[i];
+      const int box_id = ids[i];
+      if (ctx->graph->GetBox(box_id) != box) {
         changed = true;
         break;
       }
       for (Entry& e : rules_) {
         if (!e.enabled) continue;
+        std::string debug_id;
+        if (ctx->trace != nullptr) debug_id = box->DebugId();
         SM_ASSIGN_OR_RETURN(bool fired, e.rule->Apply(ctx, box));
         if (fired) {
           ++total;
           ctx->applications++;
           if (ctx->trace != nullptr) {
-            *ctx->trace +=
-                StrCat(e.rule->name(), " fired at ", box->DebugId(), "\n");
+            *ctx->trace += StrCat(e.rule->name(), " fired at ", debug_id, "\n");
           }
           if (total > max_applications_) {
             return Status::Internal(
@@ -75,9 +82,9 @@ Result<int> RewriteEngine::Run(RewriteContext* ctx) {
           changed = true;
         }
         // A rule may have removed `box`; stop offering it further rules.
-        if (ctx->graph->GetBox(box->id()) != box) break;
+        if (ctx->graph->GetBox(box_id) != box) break;
       }
-      if (ctx->graph->GetBox(box->id()) != box) break;
+      if (ctx->graph->GetBox(box_id) != box) break;
     }
     ctx->graph->GarbageCollect();
   }

@@ -264,11 +264,13 @@ enum class StatementKind {
   kSelect,
   kCreateTable,
   kCreateView,
+  kCreateIndex,
   kInsert,
   kUpdate,
   kDelete,
   kDropTable,
   kDropView,
+  kDropIndex,
   kAnalyze,
 };
 
@@ -296,6 +298,17 @@ struct AstCreateView : AstStatement {
   std::vector<std::string> column_names;
   std::string body_sql;  ///< original text of the body (stored in catalog)
   std::unique_ptr<AstBlob> body;
+};
+
+/// CREATE INDEX name ON table (c1, c2, ...) [USING HASH|ORDERED].
+/// The kind is a storage hint: HASH (default) serves equality probes,
+/// ORDERED additionally serves prefix and range probes.
+struct AstCreateIndex : AstStatement {
+  AstCreateIndex() : AstStatement(StatementKind::kCreateIndex) {}
+  std::string name;
+  std::string table;
+  std::vector<std::string> columns;
+  bool ordered = false;
 };
 
 struct AstInsert : AstStatement {

@@ -132,6 +132,28 @@ class Parser {
       SM_RETURN_IF_ERROR(Expect(TokenType::kRParen, "')'"));
       return std::unique_ptr<AstStatement>(std::move(stmt));
     }
+    if (ConsumeKeyword("INDEX")) {
+      auto stmt = std::make_unique<AstCreateIndex>();
+      SM_ASSIGN_OR_RETURN(stmt->name, ExpectIdentifier("index name"));
+      SM_RETURN_IF_ERROR(ExpectKeyword("ON"));
+      SM_ASSIGN_OR_RETURN(stmt->table, ExpectIdentifier("table name"));
+      SM_RETURN_IF_ERROR(Expect(TokenType::kLParen, "'('"));
+      do {
+        SM_ASSIGN_OR_RETURN(std::string col, ExpectIdentifier("column name"));
+        stmt->columns.push_back(std::move(col));
+      } while (ConsumeIf(TokenType::kComma));
+      SM_RETURN_IF_ERROR(Expect(TokenType::kRParen, "')'"));
+      if (ConsumeKeyword("USING")) {
+        if (ConsumeKeyword("ORDERED")) {
+          stmt->ordered = true;
+        } else if (!ConsumeKeyword("HASH")) {
+          return Status::ParseError(
+              StrCat("expected HASH or ORDERED after USING at line ",
+                     Peek().line));
+        }
+      }
+      return std::unique_ptr<AstStatement>(std::move(stmt));
+    }
     bool recursive = ConsumeKeyword("RECURSIVE");
     if (ConsumeKeyword("VIEW")) {
       auto stmt = std::make_unique<AstCreateView>();
@@ -165,7 +187,8 @@ class Parser {
       return std::unique_ptr<AstStatement>(std::move(stmt));
     }
     return Status::ParseError(
-        StrCat("expected TABLE or VIEW after CREATE at line ", Peek().line));
+        StrCat("expected TABLE, VIEW, or INDEX after CREATE at line ",
+               Peek().line));
   }
 
   Result<std::unique_ptr<AstStatement>> ParseInsert() {
@@ -224,8 +247,13 @@ class Parser {
       SM_ASSIGN_OR_RETURN(stmt->name, ExpectIdentifier("view name"));
       return std::unique_ptr<AstStatement>(std::move(stmt));
     }
-    return Status::ParseError(
-        StrCat("expected TABLE or VIEW after DROP at line ", Peek().line));
+    if (ConsumeKeyword("INDEX")) {
+      auto stmt = std::make_unique<AstDrop>(StatementKind::kDropIndex);
+      SM_ASSIGN_OR_RETURN(stmt->name, ExpectIdentifier("index name"));
+      return std::unique_ptr<AstStatement>(std::move(stmt));
+    }
+    return Status::ParseError(StrCat(
+        "expected TABLE, VIEW, or INDEX after DROP at line ", Peek().line));
   }
 
   Result<Value> ParseLiteralValue() {

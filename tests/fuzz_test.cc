@@ -70,6 +70,16 @@ void BuildRandomDb(Database* db, Rng* rng) {
     ASSERT_TRUE(dim->Append(std::move(row)).ok());
   }
   ASSERT_TRUE(db->AnalyzeAll().ok());
+  // A random subset of secondary indexes (built after the loads, so they
+  // are synced). Queries must answer identically with or without them.
+  for (const char* ddl :
+       {"CREATE INDEX f_g ON fact (g)",
+        "CREATE INDEX f_k ON fact (k) USING ORDERED",
+        "CREATE INDEX f_gk ON fact (g, k)",
+        "CREATE INDEX d_g ON dim (g) USING ORDERED",
+        "CREATE INDEX d_w ON dim (w) USING ORDERED"}) {
+    if (rng->Chance(50)) ASSERT_TRUE(db->Execute(ddl).ok());
+  }
 }
 
 // Produces a random query over fact/dim/agg.
@@ -148,6 +158,25 @@ TEST_P(FuzzEquivalenceTest, StrategiesAgreeOnRandomQueries) {
     ASSERT_TRUE(forced_result.ok()) << sql;
     ASSERT_TRUE(Table::BagEquals(original->table, forced_result->table))
         << "forced magic diverged on seed " << GetParam() << ": " << sql;
+    // The same optimized plan executed with secondary indexes disabled
+    // (pure scans) must also produce the same bag.
+    auto pipeline = db.Explain(sql, QueryOptions(ExecutionStrategy::kMagic));
+    ASSERT_TRUE(pipeline.ok()) << sql;
+    ExecOptions scan_opts;
+    scan_opts.use_secondary_indexes = false;
+    Executor scans(pipeline->graph.get(), db.catalog(), scan_opts);
+    auto scan_table = scans.Run();
+    ASSERT_TRUE(scan_table.ok()) << sql;
+    ASSERT_TRUE(Table::BagEquals(original->table, *scan_table))
+        << "scan-forced execution diverged on seed " << GetParam() << ": "
+        << sql;
+    EXPECT_EQ(scans.stats().index_probes, 0);
+    // Occasional index churn between queries: create/drop must never
+    // change answers (only access paths).
+    if (rng.Chance(30)) {
+      db.Execute("DROP INDEX churn").ok();  // may not exist yet
+      ASSERT_TRUE(db.Execute("CREATE INDEX churn ON fact (v)").ok());
+    }
   }
 }
 

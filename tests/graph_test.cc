@@ -62,10 +62,11 @@ TEST(GraphTest, GarbageCollectRemovesUnreachable) {
   SmallGraph s;
   Box* orphan = s.g.NewBox(BoxKind::kSelect, "ORPHAN");
   orphan->AddOutput("x", Expr::MakeLiteral(Value::Int(1)));
+  const int orphan_id = orphan->id();  // GC frees the box itself
   EXPECT_EQ(s.g.NumBoxes(), 4);
   EXPECT_EQ(s.g.GarbageCollect(), 1);
   EXPECT_EQ(s.g.NumBoxes(), 3);
-  EXPECT_EQ(s.g.GetBox(orphan->id()), nullptr);
+  EXPECT_EQ(s.g.GetBox(orphan_id), nullptr);
 }
 
 TEST(GraphTest, GarbageCollectFollowsMagicLinks) {

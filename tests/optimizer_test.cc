@@ -130,9 +130,10 @@ TEST_F(OptimizerTest, JoinOrderRespectsCorrelationDependency) {
 }
 
 TEST_F(OptimizerTest, CostModelPrefersIndexedProbeOverScan) {
+  ASSERT_TRUE(db_.Execute("CREATE INDEX big_k ON big (k)").ok());
   auto g = Build("SELECT b.v FROM small s, big b WHERE s.k = b.k");
   CardinalityEstimator est(g.get(), db_.catalog());
-  CostModel model(g.get(), &est);
+  CostModel model(g.get(), &est, db_.catalog());
   Box* top = g->top();
   int s_id = -1;
   int b_id = -1;
@@ -140,11 +141,32 @@ TEST_F(OptimizerTest, CostModelPrefersIndexedProbeOverScan) {
     if (q->name == "s") s_id = q->id;
     if (q->name == "b") b_id = q->id;
   }
-  // small-first can probe big through the index (no 1000-row build);
-  // big-first must scan small but pays the big scan first.
+  // small-first can probe big through the declared index (no 1000-row
+  // build); big-first must scan small but pays the big scan first.
   double small_first = model.BoxCost(top, {s_id, b_id});
   double big_first = model.BoxCost(top, {b_id, s_id});
   EXPECT_LT(small_first, big_first);
+}
+
+TEST_F(OptimizerTest, CostModelChargesScanWithoutIndex) {
+  // Same query, no index: both orders pay the full build/scan of the
+  // other side, so the cheaper order is decided by intermediate sizes
+  // and neither gets the index discount.
+  auto g = Build("SELECT b.v FROM small s, big b WHERE s.k = b.k");
+  CardinalityEstimator est(g.get(), db_.catalog());
+  CostModel no_index(g.get(), &est, db_.catalog());
+  Box* top = g->top();
+  int s_id = -1;
+  int b_id = -1;
+  for (const auto& q : top->quantifiers()) {
+    if (q->name == "s") s_id = q->id;
+    if (q->name == "b") b_id = q->id;
+  }
+  double scan_cost = no_index.BoxCost(top, {s_id, b_id});
+  ASSERT_TRUE(db_.Execute("CREATE INDEX big_k ON big (k)").ok());
+  double index_cost = no_index.BoxCost(top, {s_id, b_id});
+  // The declared index removes big's 1000-row build from the estimate.
+  EXPECT_LT(index_cost, scan_cost);
 }
 
 TEST_F(OptimizerTest, PipelineNeverDegradesPlan) {
