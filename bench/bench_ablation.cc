@@ -28,11 +28,15 @@ struct RunResult {
 };
 
 Result<RunResult> RunWith(Database* db, const std::string& sql,
-                          const PipelineOptions& pipeline_options) {
+                          const PipelineOptions& pipeline_options,
+                          Tracer* tracer) {
   QueryOptions options(ExecutionStrategy::kMagic);
   options.pipeline = pipeline_options;
+  options.tracer = tracer;
+  ExecOptions exec_options;
+  exec_options.tracer = tracer;
   SM_ASSIGN_OR_RETURN(PipelineResult p, db->Explain(sql, options));
-  Executor executor(p.graph.get(), db->catalog(), ExecOptions{});
+  Executor executor(p.graph.get(), db->catalog(), exec_options);
   SM_ASSIGN_OR_RETURN(Table t, executor.Run());
   (void)t;
   RunResult r;
@@ -58,16 +62,18 @@ void PrintRow(const char* label, const Result<RunResult>& on,
 }
 
 int Run() {
+  BenchObs obs("ablation");
   Database db;
   EmpDeptConfig config;
   config.num_departments = 200;
-  config.num_employees = 10000;
-  config.num_projects = 2000;
+  config.num_employees = BenchObs::Smoke() ? 500 : 10000;
+  config.num_projects = BenchObs::Smoke() ? 100 : 2000;
   if (Status s = LoadEmpDept(&db, config); !s.ok()) {
     std::fprintf(stderr, "%s\n", s.ToString().c_str());
     return 1;
   }
-  if (Status s = LoadProbe(&db, "probe", 1000, 25, 9); !s.ok()) {
+  if (Status s = LoadProbe(&db, "probe", BenchObs::Smoke() ? 100 : 1000, 25, 9);
+      !s.ok()) {
     std::fprintf(stderr, "%s\n", s.ToString().c_str());
     return 1;
   }
@@ -92,8 +98,8 @@ int Run() {
         "AND d.deptno = s.workdept";
     PipelineOptions off = defaults;
     off.emst.use_supplementary = false;
-    PrintRow("supplementary-magic-boxes", RunWith(&db, sql, defaults),
-             RunWith(&db, sql, off));
+    PrintRow("supplementary-magic-boxes", RunWith(&db, sql, defaults, obs.tracer()),
+             RunWith(&db, sql, off, obs.tracer()));
   }
   {
     // Condition magic: the Exp H query with a range join restriction.
@@ -102,8 +108,8 @@ int Run() {
         "WHERE a.dept <= d.deptno AND d.deptname = 'Planning'";
     PipelineOptions off = defaults;
     off.emst.push_conditions = false;
-    PrintRow("condition magic (c adornments)", RunWith(&db, sql, defaults),
-             RunWith(&db, sql, off));
+    PrintRow("condition magic (c adornments)", RunWith(&db, sql, defaults, obs.tracer()),
+             RunWith(&db, sql, off, obs.tracer()));
   }
   {
     // Distinct pullup: without it the magic boxes keep their DISTINCT and
@@ -114,8 +120,8 @@ int Run() {
         "WHERE d.deptno = s.workdept AND d.deptname = 'Planning'";
     PipelineOptions off = defaults;
     off.toggles.distinct_pullup = false;
-    PrintRow("distinct pullup (phase-3 merges)", RunWith(&db, sql, defaults),
-             RunWith(&db, sql, off));
+    PrintRow("distinct pullup (phase-3 merges)", RunWith(&db, sql, defaults, obs.tracer()),
+             RunWith(&db, sql, off, obs.tracer()));
   }
   {
     // Join-order sensitivity: without the sips-friendly candidate the
@@ -125,8 +131,8 @@ int Run() {
         "WHERE p.pdept = a.dept";
     PipelineOptions off = defaults;
     off.try_sips_order = false;
-    PrintRow("sips-friendly join order", RunWith(&db, sql, defaults),
-             RunWith(&db, sql, off));
+    PrintRow("sips-friendly join order", RunWith(&db, sql, defaults, obs.tracer()),
+             RunWith(&db, sql, off, obs.tracer()));
   }
   return 0;
 }

@@ -18,8 +18,14 @@ namespace starmagic::bench {
 namespace {
 
 int Run() {
+  BenchObs obs("figure1");
   Database db;
   EmpDeptConfig config;  // defaults: 2000 departments, 50000 employees
+  if (BenchObs::Smoke()) {
+    config.num_departments = 50;
+    config.num_employees = 500;
+    config.num_projects = 100;
+  }
   if (Status s = LoadEmpDept(&db, config); !s.ok()) {
     std::fprintf(stderr, "%s\n", s.ToString().c_str());
     return 1;
@@ -62,7 +68,9 @@ int Run() {
   for (ExecutionStrategy strategy :
        {ExecutionStrategy::kOriginal, ExecutionStrategy::kCorrelated,
         ExecutionStrategy::kMagic}) {
-    auto pipeline = db.Explain(query_d, QueryOptions(strategy));
+    QueryOptions qopts(strategy);
+    qopts.tracer = obs.tracer();
+    auto pipeline = db.Explain(query_d, qopts);
     if (!pipeline.ok()) {
       std::fprintf(stderr, "%s\n", pipeline.status().ToString().c_str());
       return 1;
@@ -70,6 +78,7 @@ int Run() {
     ExecOptions exec_options;
     exec_options.memoize_correlation =
         strategy != ExecutionStrategy::kCorrelated;
+    exec_options.tracer = obs.tracer();
     double best_ms = 0;
     int64_t work = 0;
     int64_t rows = 0;
@@ -114,7 +123,7 @@ int Run() {
   bool pass = work_ratio >= 10.0;
   std::printf("claim (>= 1 order of magnitude): %s\n",
               pass ? "REPRODUCED" : "NOT REPRODUCED");
-  return pass ? 0 : 1;
+  return obs.Verdict(pass);
 }
 
 }  // namespace

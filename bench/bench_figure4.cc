@@ -29,10 +29,11 @@ int CountSubstring(const std::string& text, const std::string& needle) {
 }
 
 int Run() {
+  BenchObs obs("figure4");
   Database db;
   EmpDeptConfig config;
   config.num_departments = 50;
-  config.num_employees = 1000;
+  config.num_employees = BenchObs::Smoke() ? 200 : 1000;
   config.num_projects = 100;
   if (Status s = LoadEmpDept(&db, config); !s.ok()) {
     std::fprintf(stderr, "%s\n", s.ToString().c_str());
@@ -51,6 +52,7 @@ int Run() {
   QueryOptions options(ExecutionStrategy::kMagic);
   options.pipeline.capture_snapshots = true;
   options.pipeline.cost_compare = false;  // always show the transformed graph
+  options.tracer = obs.tracer();
   auto r = db.Explain(query_d, options);
   if (!r.ok()) {
     std::fprintf(stderr, "%s\n", r.status().ToString().c_str());

@@ -18,17 +18,20 @@ namespace starmagic::bench {
 namespace {
 
 Result<int64_t> WorkOf(Database* db, const std::string& sql,
-                       ExecutionStrategy strategy) {
-  SM_ASSIGN_OR_RETURN(QueryResult r, db->Query(sql, QueryOptions(strategy)));
+                       ExecutionStrategy strategy, Tracer* tracer) {
+  QueryOptions options(strategy);
+  options.tracer = tracer;
+  SM_ASSIGN_OR_RETURN(QueryResult r, db->Query(sql, options));
   return r.exec_stats.TotalWork();
 }
 
 int Run() {
+  BenchObs obs("heuristic");
   Database db;
   EmpDeptConfig config;
   config.num_departments = 200;
-  config.num_employees = 10000;
-  config.num_projects = 2000;
+  config.num_employees = BenchObs::Smoke() ? 500 : 10000;
+  config.num_projects = BenchObs::Smoke() ? 100 : 2000;
   if (Status s = LoadEmpDept(&db, config); !s.ok()) {
     std::fprintf(stderr, "%s\n", s.ToString().c_str());
     return 1;
@@ -69,8 +72,11 @@ int Run() {
               "chosen", "verdict");
   int failures = 0;
   for (size_t i = 0; i < queries.size(); ++i) {
-    auto baseline = WorkOf(&db, queries[i], ExecutionStrategy::kOriginal);
-    auto chosen_r = db.Query(queries[i], QueryOptions(ExecutionStrategy::kMagic));
+    auto baseline =
+        WorkOf(&db, queries[i], ExecutionStrategy::kOriginal, obs.tracer());
+    QueryOptions magic_options(ExecutionStrategy::kMagic);
+    magic_options.tracer = obs.tracer();
+    auto chosen_r = db.Query(queries[i], magic_options);
     if (!baseline.ok() || !chosen_r.ok()) {
       std::fprintf(stderr, "Q%zu failed: %s %s\n", i,
                    baseline.status().ToString().c_str(),

@@ -27,12 +27,14 @@ struct Sample {
 
 Result<Sample> Measure(Database* db, const std::string& sql,
                        ExecutionStrategy strategy, bool use_indexes,
-                       int repetitions) {
+                       int repetitions, Tracer* tracer) {
   QueryOptions options(strategy);
+  options.tracer = tracer;
   SM_ASSIGN_OR_RETURN(PipelineResult pipeline, db->Explain(sql, options));
   ExecOptions exec_options;
   exec_options.memoize_correlation = strategy != ExecutionStrategy::kCorrelated;
   exec_options.use_secondary_indexes = use_indexes;
+  exec_options.tracer = tracer;
   Sample sample;
   for (int i = 0; i < repetitions; ++i) {
     Executor executor(pipeline.graph.get(), db->catalog(), exec_options);
@@ -51,6 +53,7 @@ Result<Sample> Measure(Database* db, const std::string& sql,
 }
 
 int Run() {
+  BenchObs obs("index");
   Database db;
   auto check = [](const Status& s) {
     if (!s.ok()) {
@@ -62,9 +65,14 @@ int Run() {
   config.num_departments = 400;
   config.num_employees = 20000;
   config.num_projects = 4000;
+  if (BenchObs::Smoke()) {
+    config.num_departments = 40;
+    config.num_employees = 400;
+    config.num_projects = 80;
+  }
   check(LoadEmpDept(&db, config));
-  check(LoadProbe(&db, "probe_b", 200, 8, 101));
-  check(LoadProbe(&db, "probe_c", 2000, 40, 102));
+  check(LoadProbe(&db, "probe_b", BenchObs::Smoke() ? 40 : 200, 8, 101));
+  check(LoadProbe(&db, "probe_c", BenchObs::Smoke() ? 100 : 2000, 40, 102));
   check(CreateBenchViews(&db));
   check(db.Execute("CREATE INDEX emp_workdept ON employee (workdept)"));
   check(db.Execute("CREATE INDEX emp_empno ON employee (empno)"));
@@ -110,7 +118,8 @@ int Run() {
   for (const Workload& w : workloads) {
     int64_t base_rows = -1;
     for (const Mode& m : modes) {
-      auto sample = Measure(&db, w.sql, m.strategy, m.use_indexes, 3);
+      auto sample = Measure(&db, w.sql, m.strategy, m.use_indexes, 3,
+                            obs.tracer());
       if (!sample.ok()) {
         std::fprintf(stderr, "%s/%s failed: %s\n", w.name, m.name,
                      sample.status().ToString().c_str());

@@ -22,8 +22,8 @@ Database* SharedDb() {
     auto* d = new Database();
     EmpDeptConfig config;
     config.num_departments = 200;
-    config.num_employees = 10000;
-    config.num_projects = 2000;
+    config.num_employees = BenchObs::Smoke() ? 500 : 10000;
+    config.num_projects = BenchObs::Smoke() ? 100 : 2000;
     Status s = LoadEmpDept(d, config);
     if (s.ok()) s = CreateBenchViews(d);
     if (!s.ok()) {
@@ -89,7 +89,32 @@ BENCHMARK(BM_ExecuteQueryD)
     ->Arg(static_cast<int>(ExecutionStrategy::kCorrelated))
     ->Arg(static_cast<int>(ExecutionStrategy::kMagic));
 
+// One traced optimize+execute pass of query D. Benchmark iterations run
+// untraced — google-benchmark repeats until timings stabilize, and a span
+// per iteration would make the trace unbounded.
+void TracedWarmup() {
+  BenchObs obs("microbench");
+  if (obs.tracer() == nullptr) return;
+  Database* db = SharedDb();
+  QueryOptions options(ExecutionStrategy::kMagic);
+  options.tracer = obs.tracer();
+  auto pipeline = db->Explain(kQueryD, options);
+  if (!pipeline.ok()) return;
+  ExecOptions exec_options;
+  exec_options.tracer = obs.tracer();
+  Executor executor(pipeline->graph.get(), db->catalog(), exec_options);
+  auto r = executor.Run();
+  (void)r;
+}
+
 }  // namespace
 }  // namespace starmagic::bench
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  starmagic::bench::TracedWarmup();
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -21,11 +21,15 @@ struct Measured {
 };
 
 Result<Measured> Measure(Database* db, const std::string& sql,
-                         ExecutionStrategy strategy) {
-  SM_ASSIGN_OR_RETURN(PipelineResult p, db->Explain(sql, QueryOptions(strategy)));
+                         ExecutionStrategy strategy, Tracer* tracer) {
+  QueryOptions options(strategy);
+  options.tracer = tracer;
+  SM_ASSIGN_OR_RETURN(PipelineResult p, db->Explain(sql, options));
   Measured m;
+  ExecOptions exec_options;
+  exec_options.tracer = tracer;
   for (int i = 0; i < 1; ++i) {
-    Executor executor(p.graph.get(), db->catalog(), ExecOptions{});
+    Executor executor(p.graph.get(), db->catalog(), exec_options);
     auto start = std::chrono::steady_clock::now();
     SM_ASSIGN_OR_RETURN(Table t, executor.Run());
     auto end = std::chrono::steady_clock::now();
@@ -42,8 +46,10 @@ Result<Measured> Measure(Database* db, const std::string& sql,
 }
 
 int Run() {
+  BenchObs obs("recursive");
   Database db;
-  if (Status s = LoadEdges(&db, 400, 2.5, 2024); !s.ok()) {
+  if (Status s = LoadEdges(&db, BenchObs::Smoke() ? 60 : 400, 2.5, 2024);
+      !s.ok()) {
     std::fprintf(stderr, "%s\n", s.ToString().c_str());
     return 1;
   }
@@ -59,7 +65,8 @@ int Run() {
   const char* bound_query = "SELECT src, dst FROM tc WHERE src = 5";
   const char* full_query = "SELECT COUNT(*) AS pairs FROM tc";
 
-  std::printf("Recursive magic: transitive closure over 400 nodes\n\n");
+  std::printf("Recursive magic: transitive closure over %d nodes\n\n",
+              BenchObs::Smoke() ? 60 : 400);
   std::printf("bound-source query: %s\n", bound_query);
   std::printf("%-11s %10s %12s %8s %10s\n", "strategy", "time(ms)", "work",
               "rows", "fixpoint");
@@ -67,7 +74,7 @@ int Run() {
   Measured magic;
   for (ExecutionStrategy strategy :
        {ExecutionStrategy::kOriginal, ExecutionStrategy::kMagic}) {
-    auto m = Measure(&db, bound_query, strategy);
+    auto m = Measure(&db, bound_query, strategy, obs.tracer());
     if (!m.ok()) {
       std::fprintf(stderr, "%s: %s\n", StrategyName(strategy),
                    m.status().ToString().c_str());
@@ -93,8 +100,10 @@ int Run() {
 
   std::printf("\nfull-closure query (magic cannot help; the §3.2 heuristic "
               "must not degrade it): %s\n", full_query);
-  auto full_orig = Measure(&db, full_query, ExecutionStrategy::kOriginal);
-  auto full_magic = Measure(&db, full_query, ExecutionStrategy::kMagic);
+  auto full_orig =
+      Measure(&db, full_query, ExecutionStrategy::kOriginal, obs.tracer());
+  auto full_magic =
+      Measure(&db, full_query, ExecutionStrategy::kMagic, obs.tracer());
   if (!full_orig.ok() || !full_magic.ok()) {
     std::fprintf(stderr, "%s %s\n", full_orig.status().ToString().c_str(),
                  full_magic.status().ToString().c_str());
@@ -106,7 +115,7 @@ int Run() {
   bool ok = ratio >= 2.0 &&
             full_magic->work <= full_orig->work + full_orig->work / 10 + 64;
   std::printf("%s\n", ok ? "CLAIMS REPRODUCED" : "CLAIMS NOT REPRODUCED");
-  return ok ? 0 : 1;
+  return obs.Verdict(ok);
 }
 
 }  // namespace

@@ -41,13 +41,16 @@ struct Measurement {
 // Times *execution* (as Table 1 does); optimization happens once outside
 // the timed region.
 Result<Measurement> Measure(Database* db, const std::string& sql,
-                            ExecutionStrategy strategy, int repetitions) {
+                            ExecutionStrategy strategy, int repetitions,
+                            Tracer* tracer) {
   Measurement best;
   QueryOptions options(strategy);
+  options.tracer = tracer;
   SM_ASSIGN_OR_RETURN(PipelineResult pipeline, db->Explain(sql, options));
   best.emst_chosen = pipeline.emst_chosen;
   ExecOptions exec_options;
   exec_options.memoize_correlation = strategy != ExecutionStrategy::kCorrelated;
+  exec_options.tracer = tracer;
   for (int i = 0; i < repetitions; ++i) {
     // A fresh executor per run: no result caches survive. Catalog
     // secondary indexes persist across runs, as in a real system, so the
@@ -70,6 +73,7 @@ Result<Measurement> Measure(Database* db, const std::string& sql,
 }
 
 int RunAll(int64_t scale) {
+  BenchObs obs("table1");
   EmpDeptConfig config;
   config.num_departments = 400 * scale / 100;
   config.num_employees = 20000 * scale / 100;
@@ -143,9 +147,12 @@ int RunAll(int64_t scale) {
       "paper(Corr/EMST)", "work(O/C/E)", "emst-plan-chosen");
   bool all_equal = true;
   for (const Experiment& exp : experiments) {
-    auto orig = Measure(&db, exp.sql, ExecutionStrategy::kOriginal, 3);
-    auto corr = Measure(&db, exp.sql, ExecutionStrategy::kCorrelated, 3);
-    auto emst = Measure(&db, exp.sql, ExecutionStrategy::kMagic, 3);
+    auto orig =
+        Measure(&db, exp.sql, ExecutionStrategy::kOriginal, 3, obs.tracer());
+    auto corr =
+        Measure(&db, exp.sql, ExecutionStrategy::kCorrelated, 3, obs.tracer());
+    auto emst =
+        Measure(&db, exp.sql, ExecutionStrategy::kMagic, 3, obs.tracer());
     if (!orig.ok() || !corr.ok() || !emst.ok()) {
       std::fprintf(stderr, "Exp %s failed: %s %s %s\n", exp.id,
                    orig.status().ToString().c_str(),
@@ -170,6 +177,8 @@ int RunAll(int64_t scale) {
   }
   std::printf("result equality across strategies: %s\n",
               all_equal ? "OK" : "FAILED");
+  // Result equality must hold at every scale — smoke mode does not forgive
+  // it (unlike timing-ratio claims).
   return all_equal ? 0 : 1;
 }
 
@@ -177,7 +186,7 @@ int RunAll(int64_t scale) {
 }  // namespace starmagic::bench
 
 int main(int argc, char** argv) {
-  int64_t scale = 100;
+  int64_t scale = starmagic::bench::BenchObs::Smoke() ? 2 : 100;
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
     if (arg.rfind("--scale=", 0) == 0) scale = std::atoll(arg.c_str() + 8);

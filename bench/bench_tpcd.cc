@@ -107,6 +107,7 @@ struct QuerySpec {
 };
 
 int Run(int64_t scale) {
+  BenchObs obs("tpcd");
   Database db;
   if (Status s = LoadTpcd(&db, scale); !s.ok()) {
     std::fprintf(stderr, "%s\n", s.ToString().c_str());
@@ -148,7 +149,9 @@ int Run(int64_t scale) {
     for (ExecutionStrategy strategy :
          {ExecutionStrategy::kOriginal, ExecutionStrategy::kCorrelated,
           ExecutionStrategy::kMagic}) {
-      auto pipeline = db.Explain(q.sql, QueryOptions(strategy));
+      QueryOptions options(strategy);
+      options.tracer = obs.tracer();
+      auto pipeline = db.Explain(q.sql, options);
       if (!pipeline.ok()) {
         std::fprintf(stderr, "%s/%s: %s\n", q.id, StrategyName(strategy),
                      pipeline.status().ToString().c_str());
@@ -157,6 +160,7 @@ int Run(int64_t scale) {
       ExecOptions exec_options;
       exec_options.memoize_correlation =
           strategy != ExecutionStrategy::kCorrelated;
+      exec_options.tracer = obs.tracer();
       Executor executor(pipeline->graph.get(), db.catalog(), exec_options);
       auto result = executor.Run();
       if (!result.ok()) {
@@ -190,7 +194,7 @@ int Run(int64_t scale) {
 }  // namespace starmagic::bench
 
 int main(int argc, char** argv) {
-  int64_t scale = 100;
+  int64_t scale = starmagic::bench::BenchObs::Smoke() ? 10 : 100;
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
     if (arg.rfind("--scale=", 0) == 0) scale = std::atoll(arg.c_str() + 8);

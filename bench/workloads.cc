@@ -1,10 +1,32 @@
 #include "workloads.h"
 
 #include <cmath>
+#include <cstdio>
+#include <cstdlib>
 
 #include "common/string_util.h"
 
 namespace starmagic::bench {
+
+BenchObs::BenchObs(std::string name) : name_(std::move(name)) {
+  if (std::getenv("STARMAGIC_TRACE") != nullptr) tracer_.SetEnabled(true);
+}
+
+BenchObs::~BenchObs() {
+  if (!tracer_.enabled()) return;
+  std::string path = StrCat("TRACE_", name_, ".json");
+  Status s = tracer_.WriteTraceEventJson(path);
+  if (s.ok()) {
+    std::printf("wrote %s (%zu spans, %zu events)\n", path.c_str(),
+                tracer_.spans().size(), tracer_.events().size());
+  } else {
+    std::fprintf(stderr, "trace write failed: %s\n", s.ToString().c_str());
+  }
+}
+
+bool BenchObs::Smoke() {
+  return std::getenv("STARMAGIC_BENCH_SMOKE") != nullptr;
+}
 
 uint64_t Rng::Next() {
   state_ += 0x9e3779b97f4a7c15ULL;

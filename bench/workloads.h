@@ -2,10 +2,37 @@
 #define STARMAGIC_BENCH_WORKLOADS_H_
 
 #include <cstdint>
+#include <string>
 
 #include "engine/database.h"
 
 namespace starmagic::bench {
+
+/// Observability hooks shared by the bench binaries, driven by env vars:
+///   STARMAGIC_TRACE=1       record query-lifecycle spans; the destructor
+///                           writes TRACE_<name>.json into the cwd.
+///   STARMAGIC_BENCH_SMOKE=1 benches shrink their data scales (each bench
+///                           checks Smoke() itself) and claim gates become
+///                           informational instead of failing the process.
+class BenchObs {
+ public:
+  explicit BenchObs(std::string name);
+  ~BenchObs();
+
+  /// The span sink to thread into QueryOptions/ExecOptions; null when
+  /// tracing is off so instrumented code stays on its zero-cost path.
+  Tracer* tracer() { return tracer_.enabled() ? &tracer_ : nullptr; }
+
+  static bool Smoke();
+
+  /// Exit code for a reproduction claim: failures are forgiven in smoke
+  /// mode (tiny scales cannot reproduce the paper's ratios).
+  int Verdict(bool pass) const { return pass || Smoke() ? 0 : 1; }
+
+ private:
+  std::string name_;
+  Tracer tracer_;
+};
 
 /// Deterministic pseudo-random generator (splitmix64) so every bench run
 /// sees identical data.

@@ -4,11 +4,16 @@
 //   .strategy original|correlated|magic   execution strategy for SELECTs
 //   .explain on|off                       print the optimized query graph
 //   .stats on|off                         print executor work counters
+//   .trace on <file.json>|off             record spans, write on off/exit
+//   .metrics                              dump the session metrics registry
 //   .import <table> <file.csv>            load CSV rows into a table
 //   .export <table> <file.csv>            dump a table to CSV
 //   .tables                               list tables and views
 //   .indexes                              list secondary indexes
 //   .help  .quit
+//
+// `EXPLAIN <query>;` and `EXPLAIN ANALYZE <query>;` are regular statements:
+// they print the (annotated) plan instead of the query rows.
 //
 // Example session:
 //   echo "CREATE TABLE t (a INTEGER); INSERT INTO t VALUES (1),(2);
@@ -35,17 +40,33 @@ struct ShellState {
   ExecutionStrategy strategy = ExecutionStrategy::kMagic;
   bool explain = false;
   bool stats = false;
+  Tracer tracer;
+  MetricsRegistry metrics;
+  std::string trace_file;
 };
 
+void FlushTrace(ShellState* state) {
+  if (state->trace_file.empty()) return;
+  Status s = state->tracer.WriteTraceEventJson(state->trace_file);
+  if (s.ok()) {
+    std::printf("trace written to %s (%zu spans)\n", state->trace_file.c_str(),
+                state->tracer.spans().size());
+  } else {
+    std::printf("error: %s\n", s.ToString().c_str());
+  }
+}
+
 void RunStatement(ShellState* state, const std::string& sql) {
-  // Heuristic dispatch: SELECT goes through Query, everything else through
-  // Execute.
+  // Heuristic dispatch: SELECT/EXPLAIN go through Query, everything else
+  // through Execute.
   size_t first = sql.find_first_not_of(" \t\r\n");
   if (first == std::string::npos) return;
-  std::string head = ToUpper(sql.substr(first, 6));
-  if (head.rfind("SELECT", 0) == 0) {
+  std::string head = ToUpper(sql.substr(first, 7));
+  if (head.rfind("SELECT", 0) == 0 || head.rfind("EXPLAIN", 0) == 0) {
     QueryOptions options(state->strategy);
     options.capture_plan_report = state->explain;
+    options.tracer = &state->tracer;
+    options.metrics = &state->metrics;
     auto r = state->db.Query(sql, options);
     if (!r.ok()) {
       std::printf("error: %s\n", r.status().ToString().c_str());
@@ -73,7 +94,8 @@ bool RunDotCommand(ShellState* state, const std::string& line) {
   if (cmd == ".help") {
     std::printf(
         ".strategy original|correlated|magic\n.explain on|off\n"
-        ".stats on|off\n.import <table> <file.csv>\n"
+        ".stats on|off\n.trace on <file.json>|off\n.metrics\n"
+        ".import <table> <file.csv>\n"
         ".export <table> <file.csv>\n.tables\n.indexes\n.quit\n");
   } else if (cmd == ".strategy") {
     if (a == "original") state->strategy = ExecutionStrategy::kOriginal;
@@ -87,6 +109,23 @@ bool RunDotCommand(ShellState* state, const std::string& line) {
   } else if (cmd == ".stats") {
     state->stats = a == "on";
     std::printf("stats = %s\n", state->stats ? "on" : "off");
+  } else if (cmd == ".trace") {
+    if (a == "on") {
+      state->trace_file = b.empty() ? "TRACE_shell.json" : b;
+      state->tracer.Clear();
+      state->tracer.SetEnabled(true);
+      std::printf("trace = on (%s)\n", state->trace_file.c_str());
+    } else if (a == "off") {
+      FlushTrace(state);
+      state->tracer.SetEnabled(false);
+      state->trace_file.clear();
+      std::printf("trace = off\n");
+    } else {
+      std::printf("usage: .trace on <file.json> | .trace off\n");
+    }
+  } else if (cmd == ".metrics") {
+    std::string dump = state->metrics.ToString();
+    std::printf("%s", dump.empty() ? "(no metrics recorded)\n" : dump.c_str());
   } else if (cmd == ".import" || cmd == ".export") {
     Table* table = state->db.catalog()->GetTable(a);
     if (table == nullptr) {
@@ -151,5 +190,6 @@ int main() {
       RunStatement(&state, stmt);
     }
   }
+  FlushTrace(&state);
   return 0;
 }

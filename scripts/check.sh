@@ -1,7 +1,9 @@
 #!/usr/bin/env bash
 # Sanitized check: configure with ASan+UBSan into a separate build tree,
-# build everything, and run the full test suite. Any sanitizer report
-# fails the run (halt_on_error).
+# build everything, run the full test suite (including obs_test), then run
+# every bench in smoke mode with tracing on and validate that each emitted
+# TRACE_<name>.json is well-formed JSON. Any sanitizer report fails the
+# run (halt_on_error).
 set -euo pipefail
 
 ROOT="$(cd "$(dirname "$0")/.." && pwd)"
@@ -13,3 +15,35 @@ cmake --build "${BUILD}" -j "$(nproc)"
 export ASAN_OPTIONS="halt_on_error=1:detect_leaks=1"
 export UBSAN_OPTIONS="halt_on_error=1:print_stacktrace=1"
 ctest --test-dir "${BUILD}" --output-on-failure -j "$(nproc)"
+
+# Bench smoke: tiny scales (STARMAGIC_BENCH_SMOKE), tracing on. Timing
+# claims are forgiven at smoke scale; correctness claims and sanitizer
+# reports still fail. Traces land in a scratch dir so the repo stays clean.
+SMOKE_DIR="$(mktemp -d)"
+trap 'rm -rf "${SMOKE_DIR}"' EXIT
+cd "${SMOKE_DIR}"
+export STARMAGIC_BENCH_SMOKE=1
+export STARMAGIC_TRACE=1
+for bench in table1 index figure1 figure4 heuristic ablation recursive tpcd; do
+  echo "== bench_${bench} (smoke) =="
+  "${BUILD}/bench/bench_${bench}" > "out_${bench}.txt"
+done
+echo "== bench_microbench (smoke) =="
+"${BUILD}/bench/bench_microbench" --benchmark_min_time=0.01 \
+  > out_microbench.txt
+
+for trace in TRACE_*.json; do
+  python3 - "${trace}" <<'PY'
+import json, sys
+path = sys.argv[1]
+with open(path) as f:
+    doc = json.load(f)
+events = doc["traceEvents"]
+assert events, f"{path}: no trace events"
+for e in events:
+    assert e["ph"] in ("X", "i"), f"{path}: bad phase {e['ph']!r}"
+print(f"{path}: OK ({len(events)} events)")
+PY
+done
+
+echo "ALL CHECKS PASSED"

@@ -1,7 +1,10 @@
 #include "engine/database.h"
 
+#include <cstdio>
+
 #include "common/string_util.h"
 #include "exec/eval.h"
+#include "optimizer/cardinality.h"
 #include "qgm/builder.h"
 #include "qgm/printer.h"
 #include "sql/parser.h"
@@ -225,6 +228,9 @@ Status Database::ExecuteStatement(const AstStatement& stmt) {
     case StatementKind::kSelect:
       return Status::InvalidArgument(
           "SELECT statements must be run through Query()");
+    case StatementKind::kExplain:
+      return Status::InvalidArgument(
+          "EXPLAIN statements must be run through Query()");
   }
   return Status::Internal("unhandled statement kind");
 }
@@ -248,34 +254,172 @@ Status Database::SetPrimaryKey(const std::string& table,
   return Status::OK();
 }
 
-Result<PipelineResult> Database::Explain(const std::string& sql,
-                                         const QueryOptions& options) {
-  SM_ASSIGN_OR_RETURN(std::unique_ptr<AstBlob> blob, ParseQuery(sql));
+Result<PipelineResult> Database::OptimizeBlob(const AstBlob& blob,
+                                              const QueryOptions& options) {
   QgmBuilder builder(&catalog_);
-  SM_ASSIGN_OR_RETURN(std::unique_ptr<QueryGraph> graph, builder.Build(*blob));
+  SM_ASSIGN_OR_RETURN(std::unique_ptr<QueryGraph> graph, builder.Build(blob));
   PipelineOptions popts = options.pipeline;
   popts.strategy = options.strategy;
+  if (options.tracer != nullptr) popts.tracer = options.tracer;
+  if (options.metrics != nullptr) popts.metrics = options.metrics;
   return OptimizeQuery(std::move(graph), &catalog_, popts);
 }
 
-Result<QueryResult> Database::Query(const std::string& sql,
-                                    const QueryOptions& options) {
-  SM_ASSIGN_OR_RETURN(PipelineResult pipeline, Explain(sql, options));
+Result<PipelineResult> Database::Explain(const std::string& sql,
+                                         const QueryOptions& options) {
+  SM_ASSIGN_OR_RETURN(std::unique_ptr<AstBlob> blob, ParseQuery(sql));
+  return OptimizeBlob(*blob, options);
+}
 
+namespace {
+
+void RecordExecMetrics(MetricsRegistry* metrics, const ExecStats& stats,
+                       int64_t result_rows) {
+  if (metrics == nullptr) return;
+  metrics->counter("query.executions")->Add(1);
+  metrics->counter("exec.rows_produced")->Add(stats.rows_produced);
+  metrics->counter("exec.cache_hits")->Add(stats.cache_hits);
+  metrics->counter("exec.cache_misses")->Add(stats.cache_misses);
+  metrics->counter("exec.work")->Add(stats.TotalWork());
+  metrics->histogram("exec.rows_per_query")
+      ->Observe(static_cast<double>(result_rows));
+}
+
+}  // namespace
+
+Result<QueryResult> Database::RunPipeline(PipelineResult pipeline,
+                                          const QueryOptions& options,
+                                          bool collect_box_stats) {
   ExecOptions exec_options;
   exec_options.memoize_correlation =
       options.strategy != ExecutionStrategy::kCorrelated;
+  exec_options.tracer = options.tracer;
+  exec_options.collect_box_stats = collect_box_stats;
   Executor executor(pipeline.graph.get(), &catalog_, exec_options);
   SM_ASSIGN_OR_RETURN(Table table, executor.Run());
 
-  QueryResult result{std::move(table), executor.stats(),
-                     pipeline.cost_no_emst, pipeline.cost_with_emst,
-                     pipeline.emst_chosen, pipeline.rewrite_applications,
-                     ""};
+  QueryResult result;
+  result.table = std::move(table);
+  result.exec_stats = executor.stats();
+  result.cost_no_emst = pipeline.cost_no_emst;
+  result.cost_with_emst = pipeline.cost_with_emst;
+  result.emst_chosen = pipeline.emst_chosen;
+  result.rewrite_applications = pipeline.rewrite_applications;
+  result.rule_fires = std::move(pipeline.rule_fires);
+  result.box_stats = executor.box_stats();
+  if (options.capture_plan_report) {
+    result.plan_report = PrintGraph(*pipeline.graph);
+  }
+  RecordExecMetrics(options.metrics, result.exec_stats,
+                    result.table.num_rows());
+  return result;
+}
+
+namespace {
+
+// Packs a multi-line report into a one-string-column table so EXPLAIN
+// results flow through the same channel as query rows.
+Table ReportTable(const std::string& report) {
+  Schema schema;
+  schema.AddColumn({"explain", ColumnType::kString});
+  Table table("", schema);
+  size_t start = 0;
+  while (start < report.size()) {
+    size_t end = report.find('\n', start);
+    if (end == std::string::npos) end = report.size();
+    table.mutable_rows().push_back(
+        Row{Value::String(report.substr(start, end - start))});
+    start = end + 1;
+  }
+  return table;
+}
+
+std::string FormatMs(double ms) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.3f", ms);
+  return buf;
+}
+
+}  // namespace
+
+Result<QueryResult> Database::RunExplain(const AstExplain& ex,
+                                         const QueryOptions& options) {
+  SM_ASSIGN_OR_RETURN(PipelineResult pipeline, OptimizeBlob(*ex.query, options));
+
+  QueryResult result;
+  result.cost_no_emst = pipeline.cost_no_emst;
+  result.cost_with_emst = pipeline.cost_with_emst;
+  result.emst_chosen = pipeline.emst_chosen;
+  result.rewrite_applications = pipeline.rewrite_applications;
+
+  if (ex.analyze) {
+    ExecOptions exec_options;
+    exec_options.memoize_correlation =
+        options.strategy != ExecutionStrategy::kCorrelated;
+    exec_options.tracer = options.tracer;
+    exec_options.collect_box_stats = true;
+    Executor executor(pipeline.graph.get(), &catalog_, exec_options);
+    SM_ASSIGN_OR_RETURN(Table discarded, executor.Run());
+    result.exec_stats = executor.stats();
+    result.box_stats = executor.box_stats();
+    RecordExecMetrics(options.metrics, result.exec_stats,
+                      discarded.num_rows());
+  }
+
+  std::string report =
+      StrCat(ex.analyze ? "EXPLAIN ANALYZE" : "EXPLAIN",
+             " strategy=", StrategyName(options.strategy),
+             " C1=", FormatDouble(result.cost_no_emst),
+             " C2=", FormatDouble(result.cost_with_emst),
+             " emst_chosen=", result.emst_chosen ? "true" : "false", "\n");
+  if (!pipeline.rule_fires.empty()) {
+    report += "rule fires:\n";
+    report += RuleFireTable(pipeline.rule_fires);
+  }
+
+  CardinalityEstimator estimator(pipeline.graph.get(), &catalog_);
+  report += PrintGraphAnnotated(
+      *pipeline.graph, [&](const Box& box) -> std::string {
+        std::string note =
+            StrCat("est_rows=", FormatDouble(estimator.Estimate(&box).rows));
+        if (!ex.analyze) return note;
+        auto it = result.box_stats.find(box.id());
+        if (it == result.box_stats.end()) {
+          // Base tables (and boxes never evaluated) have no runtime entry.
+          return StrCat(note, " (not evaluated)");
+        }
+        const BoxExecStats& b = it->second;
+        return StrCat(note, " act_rows=", b.rows_out, " evals=", b.evaluations,
+                      " cache_hits=", b.cache_hits, " probes=", b.probes,
+                      " time_ms=", FormatMs(b.wall_ms));
+      });
+  if (ex.analyze) {
+    report += StrCat("exec: ", result.exec_stats.ToString(), "\n");
+  }
+  result.analyze_report = report;
+  result.rule_fires = std::move(pipeline.rule_fires);
+  result.table = ReportTable(report);
   if (options.capture_plan_report) {
     result.plan_report = PrintGraph(*pipeline.graph);
   }
   return result;
+}
+
+Result<QueryResult> Database::Query(const std::string& sql,
+                                    const QueryOptions& options) {
+  SM_ASSIGN_OR_RETURN(std::unique_ptr<AstStatement> stmt, ParseStatement(sql));
+  if (stmt->kind == StatementKind::kExplain) {
+    return RunExplain(static_cast<const AstExplain&>(*stmt), options);
+  }
+  if (stmt->kind != StatementKind::kSelect) {
+    return Status::InvalidArgument(
+        "only SELECT and EXPLAIN can be run through Query(); use Execute() "
+        "for DDL/DML");
+  }
+  const auto& select = static_cast<const AstSelectStatement&>(*stmt);
+  SM_ASSIGN_OR_RETURN(PipelineResult pipeline,
+                      OptimizeBlob(*select.blob, options));
+  return RunPipeline(std::move(pipeline), options, /*collect_box_stats=*/false);
 }
 
 }  // namespace starmagic

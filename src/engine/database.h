@@ -16,6 +16,13 @@ struct QueryOptions {
   PipelineOptions pipeline;  ///< strategy field is overwritten from above
   /// Skip optimization-time cost comparison and rewriting diagnostics.
   bool capture_plan_report = false;
+  /// Span sink threaded through the whole lifecycle (parse is untraced;
+  /// optimization phases, rewrite passes, and execution get spans). No-op
+  /// when null or disabled.
+  Tracer* tracer = nullptr;
+  /// Counter/histogram sink ("query.executions", "rewrite.fires.<rule>",
+  /// "exec.rows_produced", ...). May be null.
+  MetricsRegistry* metrics = nullptr;
 
   QueryOptions() = default;
   explicit QueryOptions(ExecutionStrategy s) : strategy(s) {}
@@ -31,6 +38,13 @@ struct QueryResult {
   bool emst_chosen = false;
   int rewrite_applications = 0;
   std::string plan_report;  ///< PrintGraph of the executed graph (optional)
+  /// Per-phase per-rule rewrite fire counts (see RuleFireTable).
+  std::vector<RuleFireStats> rule_fires;
+  /// Per-box runtime stats, populated by EXPLAIN ANALYZE only.
+  std::map<int, BoxExecStats> box_stats;
+  /// For EXPLAIN [ANALYZE] queries: the annotated plan text. The same text
+  /// is returned as the rows of `table` (one line per row).
+  std::string analyze_report;
 };
 
 /// The public facade: an embedded relational engine with the Starburst
@@ -54,7 +68,11 @@ class Database {
   /// Executes a script of ';'-separated statements.
   Status ExecuteScript(const std::string& sql);
 
-  /// Parses, optimizes (per the strategy), and runs a query.
+  /// Parses, optimizes (per the strategy), and runs a query. Also accepts
+  /// `EXPLAIN <query>` (optimize only; the result table holds the annotated
+  /// plan) and `EXPLAIN ANALYZE <query>` (optimize + execute; the plan is
+  /// annotated with actual per-box row counts and timings next to the
+  /// optimizer's estimates).
   Result<QueryResult> Query(const std::string& sql,
                             const QueryOptions& options = QueryOptions());
 
@@ -76,6 +94,20 @@ class Database {
 
  private:
   Status ExecuteStatement(const AstStatement& stmt);
+
+  /// Lowers `blob` to QGM and runs the optimization pipeline with the
+  /// sinks from `options` attached.
+  Result<PipelineResult> OptimizeBlob(const AstBlob& blob,
+                                      const QueryOptions& options);
+
+  /// Executes an already-optimized pipeline result.
+  Result<QueryResult> RunPipeline(PipelineResult pipeline,
+                                  const QueryOptions& options,
+                                  bool collect_box_stats);
+
+  /// EXPLAIN [ANALYZE]: builds the annotated-plan result.
+  Result<QueryResult> RunExplain(const AstExplain& ex,
+                                 const QueryOptions& options);
 
   Catalog catalog_;
 };

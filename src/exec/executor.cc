@@ -1,6 +1,7 @@
 #include "exec/executor.h"
 
 #include <algorithm>
+#include <chrono>
 #include <functional>
 
 #include "common/string_util.h"
@@ -15,6 +16,7 @@ std::string ExecStats::ToString() const {
                 " fixpoint_iters=", fixpoint_iterations,
                 " index_probes=", index_probes,
                 " index_fetched=", index_rows_fetched,
+                " cache_hits=", cache_hits, " cache_misses=", cache_misses,
                 " work=", TotalWork());
 }
 
@@ -64,6 +66,7 @@ Schema InferSchema(const Box& box, const std::vector<Row>& rows) {
 }  // namespace
 
 Result<Table> Executor::Run() {
+  SpanScope run_span(options_.tracer, "execute", "exec");
   Box* top = graph_->top();
   if (top == nullptr) return Status::Internal("query graph has no top box");
   RowEnv env;
@@ -88,6 +91,10 @@ Result<Table> Executor::Run() {
   }
   Table out("", InferSchema(*top, rows));
   out.mutable_rows() = std::move(rows);
+  run_span.SetAttribute("rows_out", out.num_rows());
+  run_span.SetAttribute("rows_produced", stats_.rows_produced);
+  run_span.SetAttribute("cache_hits", stats_.cache_hits);
+  run_span.SetAttribute("work", stats_.TotalWork());
   return out;
 }
 
@@ -152,6 +159,11 @@ Result<const Table*> Executor::EvalBox(Box* box, const RowEnv& env,
     if (scc == scc_in_progress_id_ && scc_in_progress_ != nullptr) {
       return &scc_in_progress_->at(box->id());
     }
+    if (scc_done_.count(scc)) {
+      ++stats_.cache_hits;
+    } else {
+      ++stats_.cache_misses;
+    }
     SM_RETURN_IF_ERROR(EnsureSccEvaluated(scc));
     return &cache_.at(box->id());
   }
@@ -168,14 +180,24 @@ Result<const Table*> Executor::EvalBox(Box* box, const RowEnv& env,
   SM_ASSIGN_OR_RETURN(Row key, BindingKey(box, env));
   if (key.empty()) {
     auto it = cache_.find(box->id());
-    if (it != cache_.end()) return &it->second;
+    if (it != cache_.end()) {
+      ++stats_.cache_hits;
+      if (options_.collect_box_stats) ++box_stats_[box->id()].cache_hits;
+      return &it->second;
+    }
+    ++stats_.cache_misses;
     SM_ASSIGN_OR_RETURN(Table result, ComputeBox(box, env));
     return &cache_.emplace(box->id(), std::move(result)).first->second;
   }
   if (options_.memoize_correlation) {
     auto& per_box = corr_cache_[box->id()];
     auto it = per_box.find(key);
-    if (it != per_box.end()) return &it->second;
+    if (it != per_box.end()) {
+      ++stats_.cache_hits;
+      if (options_.collect_box_stats) ++box_stats_[box->id()].cache_hits;
+      return &it->second;
+    }
+    ++stats_.cache_misses;
     SM_ASSIGN_OR_RETURN(Table result, ComputeBox(box, env));
     return &per_box.emplace(std::move(key), std::move(result)).first->second;
   }
@@ -186,6 +208,39 @@ Result<const Table*> Executor::EvalBox(Box* box, const RowEnv& env,
 
 Result<Table> Executor::ComputeBox(Box* box, const RowEnv& env) {
   ++stats_.box_evaluations;
+  const bool tracing =
+      options_.tracer != nullptr && options_.tracer->enabled();
+  if (!options_.collect_box_stats && !tracing) return DispatchBox(box, env);
+
+  using Clock = std::chrono::steady_clock;
+  BoxExecStats& bstats = box_stats_[box->id()];
+  ++bstats.evaluations;
+  // A correlated box is evaluated once per binding; after the first few a
+  // per-evaluation span adds nothing but trace bloat, so only the earliest
+  // evaluations of each box get spans (stats keep accumulating for all).
+  constexpr int64_t kMaxSpansPerBox = 32;
+  SpanScope span(
+      tracing && bstats.evaluations <= kMaxSpansPerBox ? options_.tracer
+                                                       : nullptr,
+      box->DebugId(), "exec");
+  const int64_t probes_before = stats_.join_probes + stats_.index_probes;
+  Clock::time_point start = Clock::now();
+  Result<Table> result = DispatchBox(box, env);
+  bstats.wall_ms += std::chrono::duration_cast<std::chrono::nanoseconds>(
+                        Clock::now() - start)
+                        .count() /
+                    1e6;
+  bstats.probes += stats_.join_probes + stats_.index_probes - probes_before;
+  if (result.ok()) {
+    bstats.rows_out += result->num_rows();
+    span.SetAttribute("rows_out", result->num_rows());
+    span.SetAttribute(
+        "probes", stats_.join_probes + stats_.index_probes - probes_before);
+  }
+  return result;
+}
+
+Result<Table> Executor::DispatchBox(Box* box, const RowEnv& env) {
   switch (box->kind()) {
     case BoxKind::kSelect:
       return ComputeSelect(box, env);
@@ -992,6 +1047,10 @@ Status Executor::EnsureSccEvaluated(int scc_id) {
     }
   }
 
+  SpanScope fixpoint_span(options_.tracer, StrCat("fixpoint scc ", scc_id),
+                          "exec");
+  fixpoint_span.SetAttribute("members", static_cast<int64_t>(members.size()));
+
   // Naive fixpoint: iterate until every member's row count is stable. All
   // operations inside an SCC are monotone (joins and distinct unions), so
   // stable counts imply stable contents.
@@ -1035,6 +1094,7 @@ Status Executor::EnsureSccEvaluated(int scc_id) {
     cache_.emplace(bid, std::move(state.at(bid)));
   }
   scc_done_.insert(scc_id);
+  fixpoint_span.SetAttribute("iterations", static_cast<int64_t>(iterations));
   return Status::OK();
 }
 

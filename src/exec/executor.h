@@ -11,6 +11,7 @@
 #include "catalog/catalog.h"
 #include "exec/eval.h"
 #include "exec/join.h"
+#include "obs/trace.h"
 #include "qgm/graph.h"
 
 namespace starmagic {
@@ -28,6 +29,13 @@ struct ExecOptions {
   int64_t max_rows_per_box = 200'000'000;
   /// Cap on fixpoint iterations for recursive components.
   int max_fixpoint_iterations = 100'000;
+  /// Span sink for per-box evaluation spans and fixpoint spans. No-op when
+  /// null or disabled.
+  Tracer* tracer = nullptr;
+  /// Accumulate per-box statistics (evaluations, rows out, wall time,
+  /// cache hits) for EXPLAIN ANALYZE. Off by default: the bookkeeping adds
+  /// a clock read and a map lookup per box evaluation.
+  bool collect_box_stats = false;
 };
 
 /// Deterministic work counters (machine-independent evidence for the
@@ -40,12 +48,31 @@ struct ExecStats {
   int64_t fixpoint_iterations = 0;
   int64_t index_probes = 0;       ///< secondary-index lookups (eq or range)
   int64_t index_rows_fetched = 0; ///< rows returned by index lookups
+  // Box-result cache behaviour (uncorrelated cache + correlated-binding
+  // memo). Deliberately excluded from TotalWork(): a hit avoids work, and
+  // the cross-strategy work comparisons must not shift with cache luck.
+  int64_t cache_hits = 0;
+  int64_t cache_misses = 0;
 
   int64_t TotalWork() const {
     return rows_scanned + rows_produced + join_probes + index_probes +
            index_rows_fetched;
   }
   std::string ToString() const;
+};
+
+/// Per-box runtime statistics, collected when ExecOptions::collect_box_stats
+/// is set (EXPLAIN ANALYZE). `wall_ms` and `probes` are inclusive of child
+/// box evaluations performed during this box's evaluation; `rows_out` sums
+/// across all evaluations of the box (one per correlated binding, one per
+/// fixpoint iteration), so summing rows_out over all boxes reproduces
+/// ExecStats::rows_produced exactly.
+struct BoxExecStats {
+  int64_t evaluations = 0;
+  int64_t rows_out = 0;
+  int64_t cache_hits = 0;
+  int64_t probes = 0;  ///< join + index probes, inclusive of children
+  double wall_ms = 0;  ///< inclusive wall time
 };
 
 /// Evaluates a QGM query graph bottom-up with materialized intermediate
@@ -64,12 +91,17 @@ class Executor {
 
   const ExecStats& stats() const { return stats_; }
 
+  /// Per-box stats keyed by box id; empty unless collect_box_stats.
+  const std::map<int, BoxExecStats>& box_stats() const { return box_stats_; }
+
  private:
   /// Evaluates `box` under `env`, returning a stable pointer: cached
   /// storage, or `*scratch` when memoization is off for this evaluation.
   Result<const Table*> EvalBox(Box* box, const RowEnv& env, Table* scratch);
 
   Result<Table> ComputeBox(Box* box, const RowEnv& env);
+  /// Kind dispatch without the instrumentation wrapper of ComputeBox.
+  Result<Table> DispatchBox(Box* box, const RowEnv& env);
   Result<Table> ComputeSelect(Box* box, const RowEnv& env);
   Result<Table> ComputeGroupBy(Box* box, const RowEnv& env);
   Result<Table> ComputeSetOp(Box* box, const RowEnv& env);
@@ -88,6 +120,7 @@ class Executor {
   const Catalog* catalog_;
   ExecOptions options_;
   ExecStats stats_;
+  std::map<int, BoxExecStats> box_stats_;
 
   std::map<int, Table> cache_;  ///< uncorrelated results, keyed by box id
   std::map<int, std::unordered_map<Row, Table, RowHash, RowEq>> corr_cache_;

@@ -1,0 +1,49 @@
+#include "obs/metrics.h"
+
+#include <cmath>
+
+#include "common/string_util.h"
+
+namespace starmagic {
+
+void Histogram::Observe(double value) {
+  ++count_;
+  sum_ += value;
+  if (value < min_) min_ = value;
+  if (value > max_) max_ = value;
+  int bucket = 0;
+  if (value >= 1) {
+    bucket = 1 + static_cast<int>(std::log2(value));
+    if (bucket >= kNumBuckets) bucket = kNumBuckets - 1;
+  }
+  ++buckets_[static_cast<size_t>(bucket)];
+}
+
+std::string Histogram::ToString() const {
+  return StrCat("count=", count_, " sum=", FormatDouble(sum_),
+                " min=", FormatDouble(min()), " max=", FormatDouble(max()),
+                " mean=", FormatDouble(mean()));
+}
+
+int64_t MetricsRegistry::CounterValue(const std::string& name) const {
+  auto it = counters_.find(name);
+  return it == counters_.end() ? 0 : it->second.value();
+}
+
+void MetricsRegistry::Clear() {
+  counters_.clear();
+  histograms_.clear();
+}
+
+std::string MetricsRegistry::ToString() const {
+  std::string out;
+  for (const auto& [name, counter] : counters_) {
+    out += StrCat(name, " ", counter.value(), "\n");
+  }
+  for (const auto& [name, histogram] : histograms_) {
+    out += StrCat(name, " ", histogram.ToString(), "\n");
+  }
+  return out;
+}
+
+}  // namespace starmagic

@@ -1,0 +1,79 @@
+#ifndef STARMAGIC_OBS_METRICS_H_
+#define STARMAGIC_OBS_METRICS_H_
+
+#include <cstdint>
+#include <limits>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace starmagic {
+
+/// A monotonically increasing named count (rule fires, cache hits, ...).
+class Counter {
+ public:
+  void Add(int64_t delta = 1) { value_ += delta; }
+  int64_t value() const { return value_; }
+
+ private:
+  int64_t value_ = 0;
+};
+
+/// A distribution of observed values: count/sum/min/max plus power-of-two
+/// buckets (bucket k counts observations in [2^(k-1), 2^k); bucket 0 is
+/// (-inf, 1)). Deterministic for deterministic inputs.
+class Histogram {
+ public:
+  static constexpr int kNumBuckets = 32;
+
+  void Observe(double value);
+
+  int64_t count() const { return count_; }
+  double sum() const { return sum_; }
+  double min() const { return count_ == 0 ? 0 : min_; }
+  double max() const { return count_ == 0 ? 0 : max_; }
+  double mean() const { return count_ == 0 ? 0 : sum_ / count_; }
+  const std::vector<int64_t>& buckets() const { return buckets_; }
+
+  /// "count=N sum=S min=m max=M mean=A".
+  std::string ToString() const;
+
+ private:
+  int64_t count_ = 0;
+  double sum_ = 0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+  std::vector<int64_t> buckets_ = std::vector<int64_t>(kNumBuckets, 0);
+};
+
+/// A registry of named counters and histograms. Names are hierarchical by
+/// convention ("rewrite.fires.merge", "exec.cache_hits"). Iteration order
+/// is name-sorted, so dumps are deterministic. Returned pointers remain
+/// valid for the registry's lifetime (std::map node stability).
+class MetricsRegistry {
+ public:
+  Counter* counter(const std::string& name) { return &counters_[name]; }
+  Histogram* histogram(const std::string& name) { return &histograms_[name]; }
+
+  /// Value of a counter, or 0 when it was never touched (no insertion).
+  int64_t CounterValue(const std::string& name) const;
+
+  const std::map<std::string, Counter>& counters() const { return counters_; }
+  const std::map<std::string, Histogram>& histograms() const {
+    return histograms_;
+  }
+
+  void Clear();
+
+  /// Multi-line name-sorted dump: one "name value" line per counter, one
+  /// "name count=... sum=..." line per histogram.
+  std::string ToString() const;
+
+ private:
+  std::map<std::string, Counter> counters_;
+  std::map<std::string, Histogram> histograms_;
+};
+
+}  // namespace starmagic
+
+#endif  // STARMAGIC_OBS_METRICS_H_

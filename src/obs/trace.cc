@@ -1,0 +1,203 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "common/string_util.h"
+
+namespace starmagic {
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string TraceValue::ToJson() const {
+  switch (kind) {
+    case Kind::kString:
+      return StrCat("\"", JsonEscape(str), "\"");
+    case Kind::kInt:
+      return StrCat(i);
+    case Kind::kDouble:
+      return FormatDouble(d);
+    case Kind::kBool:
+      return b ? "true" : "false";
+  }
+  return "null";
+}
+
+const TraceValue* SpanRecord::FindAttribute(const std::string& key) const {
+  for (auto it = attributes.rbegin(); it != attributes.rend(); ++it) {
+    if (it->first == key) return &it->second;
+  }
+  return nullptr;
+}
+
+void Tracer::SetEnabled(bool enabled) {
+  if (enabled && !enabled_) epoch_ = std::chrono::steady_clock::now();
+  enabled_ = enabled;
+}
+
+int64_t Tracer::NowUs() const {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now() - epoch_)
+      .count();
+}
+
+int Tracer::BeginSpan(std::string name, std::string category) {
+  if (!enabled_) return -1;
+  SpanRecord span;
+  span.id = static_cast<int>(spans_.size());
+  span.parent_id = open_stack_.empty() ? -1 : open_stack_.back();
+  span.name = std::move(name);
+  span.category = std::move(category);
+  span.begin_us = NowUs();
+  spans_.push_back(std::move(span));
+  open_stack_.push_back(spans_.back().id);
+  return spans_.back().id;
+}
+
+void Tracer::EndSpan(int span_id) {
+  if (!enabled_ || span_id < 0 ||
+      span_id >= static_cast<int>(spans_.size())) {
+    return;
+  }
+  auto it = std::find(open_stack_.begin(), open_stack_.end(), span_id);
+  if (it == open_stack_.end()) return;  // already closed
+  int64_t now = NowUs();
+  // Close the target and anything opened inside it that was left open.
+  for (auto inner = it; inner != open_stack_.end(); ++inner) {
+    SpanRecord& span = spans_[static_cast<size_t>(*inner)];
+    if (!span.closed()) span.end_us = now;
+  }
+  open_stack_.erase(it, open_stack_.end());
+}
+
+void Tracer::SetAttribute(int span_id, std::string key, TraceValue value) {
+  if (!enabled_ || span_id < 0 ||
+      span_id >= static_cast<int>(spans_.size())) {
+    return;
+  }
+  spans_[static_cast<size_t>(span_id)].attributes.emplace_back(
+      std::move(key), std::move(value));
+}
+
+void Tracer::AddEvent(
+    std::string name, std::string category,
+    std::vector<std::pair<std::string, TraceValue>> attributes) {
+  if (!enabled_) return;
+  EventRecord event;
+  event.name = std::move(name);
+  event.category = std::move(category);
+  event.parent_span = open_stack_.empty() ? -1 : open_stack_.back();
+  event.ts_us = NowUs();
+  event.attributes = std::move(attributes);
+  events_.push_back(std::move(event));
+}
+
+void Tracer::Clear() {
+  spans_.clear();
+  events_.clear();
+  open_stack_.clear();
+  if (enabled_) epoch_ = std::chrono::steady_clock::now();
+}
+
+namespace {
+
+std::string ArgsJson(
+    const std::vector<std::pair<std::string, TraceValue>>& attributes) {
+  // Last write wins, preserving first-seen order for readability.
+  std::vector<std::pair<std::string, const TraceValue*>> merged;
+  for (const auto& [key, value] : attributes) {
+    bool found = false;
+    for (auto& entry : merged) {
+      if (entry.first == key) {
+        entry.second = &value;
+        found = true;
+        break;
+      }
+    }
+    if (!found) merged.emplace_back(key, &value);
+  }
+  std::string out = "{";
+  for (size_t i = 0; i < merged.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += StrCat("\"", JsonEscape(merged[i].first),
+                  "\": ", merged[i].second->ToJson());
+  }
+  out += "}";
+  return out;
+}
+
+}  // namespace
+
+std::string Tracer::ToTraceEventJson() const {
+  int64_t now = NowUs();
+  std::string out = "{\"displayTimeUnit\": \"ms\", \"traceEvents\": [\n";
+  bool first = true;
+  for (const SpanRecord& span : spans_) {
+    if (!first) out += ",\n";
+    first = false;
+    int64_t end = span.closed() ? span.end_us : now;
+    out += StrCat("  {\"name\": \"", JsonEscape(span.name), "\", \"cat\": \"",
+                  JsonEscape(span.category), "\", \"ph\": \"X\", \"ts\": ",
+                  span.begin_us, ", \"dur\": ", end - span.begin_us,
+                  ", \"pid\": 1, \"tid\": 1, \"args\": ",
+                  ArgsJson(span.attributes), "}");
+  }
+  for (const EventRecord& event : events_) {
+    if (!first) out += ",\n";
+    first = false;
+    out += StrCat("  {\"name\": \"", JsonEscape(event.name), "\", \"cat\": \"",
+                  JsonEscape(event.category),
+                  "\", \"ph\": \"i\", \"s\": \"t\", \"ts\": ", event.ts_us,
+                  ", \"pid\": 1, \"tid\": 1, \"args\": ",
+                  ArgsJson(event.attributes), "}");
+  }
+  out += "\n]}\n";
+  return out;
+}
+
+Status Tracer::WriteTraceEventJson(const std::string& path) const {
+  FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    return Status::ExecutionError(StrCat("cannot open '", path, "' for write"));
+  }
+  std::string json = ToTraceEventJson();
+  size_t written = std::fwrite(json.data(), 1, json.size(), f);
+  std::fclose(f);
+  if (written != json.size()) {
+    return Status::ExecutionError(StrCat("short write to '", path, "'"));
+  }
+  return Status::OK();
+}
+
+}  // namespace starmagic

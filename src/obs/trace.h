@@ -1,0 +1,155 @@
+#ifndef STARMAGIC_OBS_TRACE_H_
+#define STARMAGIC_OBS_TRACE_H_
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace starmagic {
+
+/// A typed span/event attribute value (string, int, double, or bool).
+struct TraceValue {
+  enum class Kind { kString, kInt, kDouble, kBool };
+
+  Kind kind = Kind::kInt;
+  std::string str;
+  int64_t i = 0;
+  double d = 0;
+  bool b = false;
+
+  TraceValue() = default;
+  TraceValue(const char* v) : kind(Kind::kString), str(v) {}        // NOLINT
+  TraceValue(std::string v) : kind(Kind::kString), str(std::move(v)) {}  // NOLINT
+  TraceValue(int v) : kind(Kind::kInt), i(v) {}                     // NOLINT
+  TraceValue(int64_t v) : kind(Kind::kInt), i(v) {}                 // NOLINT
+  TraceValue(double v) : kind(Kind::kDouble), d(v) {}               // NOLINT
+  TraceValue(bool v) : kind(Kind::kBool), b(v) {}                   // NOLINT
+
+  /// JSON rendering (strings quoted and escaped).
+  std::string ToJson() const;
+};
+
+/// One recorded span: a named interval with a parent link and attributes.
+/// Timestamps are microseconds relative to the tracer's epoch.
+struct SpanRecord {
+  int id = -1;
+  int parent_id = -1;  ///< -1 for root spans
+  std::string name;
+  std::string category;
+  int64_t begin_us = 0;
+  int64_t end_us = -1;  ///< -1 while open
+  std::vector<std::pair<std::string, TraceValue>> attributes;
+
+  bool closed() const { return end_us >= 0; }
+  /// Attribute lookup (last write wins), nullptr when absent.
+  const TraceValue* FindAttribute(const std::string& key) const;
+};
+
+/// An instant event (a point in time, e.g. a warning).
+struct EventRecord {
+  std::string name;
+  std::string category;
+  int parent_span = -1;
+  int64_t ts_us = 0;
+  std::vector<std::pair<std::string, TraceValue>> attributes;
+};
+
+/// Span-based tracer for the query lifecycle. Single-threaded, matching
+/// the engine. A disabled tracer (the default) records nothing and every
+/// call is a cheap early-out, so instrumentation can stay unconditionally
+/// in place on hot paths.
+///
+/// Spans form a stack: BeginSpan parents the new span under the innermost
+/// open span. Export is Chrome trace_event JSON ("X" complete events, "i"
+/// instants) loadable in chrome://tracing or https://ui.perfetto.dev.
+class Tracer {
+ public:
+  Tracer() = default;
+  explicit Tracer(bool enabled) { SetEnabled(enabled); }
+
+  bool enabled() const { return enabled_; }
+  void SetEnabled(bool enabled);
+
+  /// Opens a span under the innermost open span. Returns its id, or -1
+  /// when disabled.
+  int BeginSpan(std::string name, std::string category = "query");
+
+  /// Closes `span_id` and every span opened after it (mismatched ends are
+  /// tolerated so error paths cannot corrupt the stack).
+  void EndSpan(int span_id);
+
+  /// Attaches/overwrites an attribute on an open or closed span.
+  void SetAttribute(int span_id, std::string key, TraceValue value);
+
+  /// Records an instant event under the innermost open span.
+  void AddEvent(std::string name, std::string category = "query",
+                std::vector<std::pair<std::string, TraceValue>> attributes = {});
+
+  const std::vector<SpanRecord>& spans() const { return spans_; }
+  const std::vector<EventRecord>& events() const { return events_; }
+
+  /// Drops all recorded spans/events (the enabled flag is kept).
+  void Clear();
+
+  /// Chrome trace_event JSON: {"traceEvents": [...], ...}. Open spans are
+  /// exported as if they ended "now".
+  std::string ToTraceEventJson() const;
+
+  /// Writes ToTraceEventJson() to `path`.
+  Status WriteTraceEventJson(const std::string& path) const;
+
+ private:
+  int64_t NowUs() const;
+
+  bool enabled_ = false;
+  std::chrono::steady_clock::time_point epoch_;
+  std::vector<SpanRecord> spans_;
+  std::vector<EventRecord> events_;
+  std::vector<int> open_stack_;  ///< ids of open spans, innermost last
+};
+
+/// RAII helper: opens a span on construction (no-op for a null or disabled
+/// tracer) and closes it on destruction.
+class SpanScope {
+ public:
+  SpanScope(Tracer* tracer, std::string name, std::string category = "query")
+      : tracer_(tracer) {
+    if (tracer_ != nullptr && tracer_->enabled()) {
+      span_id_ = tracer_->BeginSpan(std::move(name), std::move(category));
+    }
+  }
+  ~SpanScope() { End(); }
+
+  SpanScope(const SpanScope&) = delete;
+  SpanScope& operator=(const SpanScope&) = delete;
+
+  void SetAttribute(std::string key, TraceValue value) {
+    if (span_id_ >= 0) {
+      tracer_->SetAttribute(span_id_, std::move(key), std::move(value));
+    }
+  }
+
+  /// Closes the span early (idempotent).
+  void End() {
+    if (span_id_ >= 0) {
+      tracer_->EndSpan(span_id_);
+      span_id_ = -1;
+    }
+  }
+
+  int span_id() const { return span_id_; }
+
+ private:
+  Tracer* tracer_;
+  int span_id_ = -1;
+};
+
+/// Escapes `s` for inclusion inside a JSON string literal.
+std::string JsonEscape(const std::string& s);
+
+}  // namespace starmagic
+
+#endif  // STARMAGIC_OBS_TRACE_H_

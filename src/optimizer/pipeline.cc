@@ -28,6 +28,22 @@ const char* StrategyName(ExecutionStrategy strategy) {
   return "?";
 }
 
+std::string RuleFireTable(const std::vector<RuleFireStats>& fires,
+                          bool include_zero) {
+  std::string out = StrCat("  ", "phase        rule                 ",
+                           "fires  attempts   wall(ms)\n");
+  char line[128];
+  for (const RuleFireStats& f : fires) {
+    if (f.fires == 0 && !include_zero) continue;
+    std::snprintf(line, sizeof(line), "  %-12s %-20s %5lld %9lld %10.3f\n",
+                  f.phase.c_str(), f.rule.c_str(),
+                  static_cast<long long>(f.fires),
+                  static_cast<long long>(f.attempts), f.wall_ms);
+    out += line;
+  }
+  return out;
+}
+
 namespace {
 
 void AddCommonRules(RewriteEngine* engine, const RewriteToggles& t) {
@@ -54,6 +70,39 @@ CostModel::Options CostOptionsFor(ExecutionStrategy strategy) {
   CostModel::Options opts;
   opts.memoized_correlation = strategy != ExecutionStrategy::kCorrelated;
   return opts;
+}
+
+// Folds one engine run's per-rule stats into the pipeline result under a
+// phase tag, and mirrors fire counts into the metrics registry.
+void RecordRun(PipelineResult* result, const PipelineOptions& options,
+               const std::string& phase, const RewriteRunStats& run) {
+  result->rewrite_applications += run.total_applications;
+  for (const RuleRunStats& r : run.rules) {
+    RuleFireStats row;
+    row.phase = phase;
+    row.rule = r.rule;
+    row.fires = r.fires;
+    row.attempts = r.attempts;
+    row.wall_ms = r.wall_ms;
+    result->rule_fires.push_back(std::move(row));
+    if (options.metrics != nullptr && r.fires > 0) {
+      options.metrics->counter(StrCat("rewrite.fires.", r.rule))->Add(r.fires);
+    }
+  }
+  if (options.metrics != nullptr) {
+    options.metrics->counter("rewrite.passes")->Add(run.passes);
+  }
+}
+
+// Adornment / magic-box census of a graph after the EMST phase — the
+// attributes the paper's Figure 4 narrative tracks per phase.
+void CountAdornments(const QueryGraph& graph, int* adorned, int* magic) {
+  *adorned = 0;
+  *magic = 0;
+  for (const Box* box : graph.boxes()) {
+    if (!box->adornment().empty()) ++*adorned;
+    if (box->IsMagicRole()) ++*magic;
+  }
 }
 
 // True when the subtree of `box` contains a groupby / set-op / custom box,
@@ -103,25 +152,38 @@ Result<PipelineResult> OptimizeQuery(std::unique_ptr<QueryGraph> graph,
                                      const Catalog* catalog,
                                      const PipelineOptions& options) {
   PipelineResult result;
+  Tracer* tracer = options.tracer;
+  SpanScope optimize_span(tracer, "optimize", "optimizer");
+  optimize_span.SetAttribute("strategy", StrategyName(options.strategy));
+
   RewriteContext ctx;
   ctx.graph = graph.get();
   ctx.catalog = catalog;
+  ctx.tracer = tracer;
 
   Snapshot(&result, options, "initial", *graph);
 
   // ---- Phase 1: join-order-independent rewrites -----------------------------
   {
+    SpanScope span(tracer, "phase1-rewrite", "optimizer");
     RewriteEngine engine;
+    engine.set_tracer(tracer);
     AddCommonRules(&engine, options.toggles);
-    SM_ASSIGN_OR_RETURN(int apps, engine.Run(&ctx));
-    result.rewrite_applications += apps;
+    SM_ASSIGN_OR_RETURN(RewriteRunStats run, engine.Run(&ctx));
+    RecordRun(&result, options, "phase1", run);
+    span.SetAttribute("fires", static_cast<int64_t>(run.total_applications));
+    span.SetAttribute("passes", static_cast<int64_t>(run.passes));
   }
   Snapshot(&result, options, "after-phase1", *graph);
 
   // ---- Plan optimization #1 (join orders + cost C1) --------------------------
-  PlanInfo plan1 =
-      OptimizePlan(graph.get(), catalog, CostOptionsFor(options.strategy));
-  result.cost_no_emst = plan1.total_cost;
+  {
+    SpanScope span(tracer, "plan-optimize-1", "optimizer");
+    PlanInfo plan1 =
+        OptimizePlan(graph.get(), catalog, CostOptionsFor(options.strategy));
+    result.cost_no_emst = plan1.total_cost;
+    span.SetAttribute("C1", plan1.total_cost);
+  }
 
   if (options.strategy == ExecutionStrategy::kOriginal) {
     result.graph = std::move(graph);
@@ -129,15 +191,18 @@ Result<PipelineResult> OptimizeQuery(std::unique_ptr<QueryGraph> graph,
   }
 
   if (options.strategy == ExecutionStrategy::kCorrelated) {
+    SpanScope span(tracer, "correlate-rewrite", "optimizer");
     RewriteEngine engine;
+    engine.set_tracer(tracer);
     engine.AddRule(std::make_unique<CorrelateRule>());
     AddCommonRules(&engine, options.toggles);
-    SM_ASSIGN_OR_RETURN(int apps, engine.Run(&ctx));
-    result.rewrite_applications += apps;
+    SM_ASSIGN_OR_RETURN(RewriteRunStats run, engine.Run(&ctx));
+    RecordRun(&result, options, "correlate", run);
     Snapshot(&result, options, "after-correlate", *graph);
     PlanInfo plan2 = OptimizePlan(graph.get(), catalog,
                                   CostOptionsFor(options.strategy));
     result.cost_with_emst = plan2.total_cost;
+    span.SetAttribute("C2", plan2.total_cost);
     result.graph = std::move(graph);
     return result;
   }
@@ -156,12 +221,25 @@ Result<PipelineResult> OptimizeQuery(std::unique_ptr<QueryGraph> graph,
     RewriteContext phase_ctx;
     phase_ctx.graph = g;
     phase_ctx.catalog = catalog;
+    phase_ctx.tracer = tracer;
     {
+      SpanScope span(tracer, StrCat("phase2-emst", tag), "optimizer");
       RewriteEngine engine;
+      engine.set_tracer(tracer);
       engine.AddRule(std::make_unique<EmstRule>(options.emst));
       AddCommonRules(&engine, options.toggles);
-      SM_ASSIGN_OR_RETURN(int apps, engine.Run(&phase_ctx));
-      result.rewrite_applications += apps;
+      SM_ASSIGN_OR_RETURN(RewriteRunStats run, engine.Run(&phase_ctx));
+      RecordRun(&result, options, StrCat("phase2", tag), run);
+      int adorned = 0;
+      int magic = 0;
+      CountAdornments(*g, &adorned, &magic);
+      span.SetAttribute("fires", static_cast<int64_t>(run.total_applications));
+      span.SetAttribute("adorned_boxes", static_cast<int64_t>(adorned));
+      span.SetAttribute("magic_boxes", static_cast<int64_t>(magic));
+      if (options.metrics != nullptr) {
+        options.metrics->counter("pipeline.adorned_boxes")->Add(adorned);
+        options.metrics->counter("pipeline.magic_boxes")->Add(magic);
+      }
     }
     if (snapshot) {
       Snapshot(&result, options, StrCat("after-phase2", tag).c_str(), *g);
@@ -171,15 +249,20 @@ Result<PipelineResult> OptimizeQuery(std::unique_ptr<QueryGraph> graph,
     for (Box* box : g->boxes()) box->set_magic_box(nullptr);
     g->GarbageCollect();
     {
+      SpanScope span(tracer, StrCat("phase3-cleanup", tag), "optimizer");
       RewriteEngine engine;
+      engine.set_tracer(tracer);
       AddCommonRules(&engine, options.toggles);
-      SM_ASSIGN_OR_RETURN(int apps, engine.Run(&phase_ctx));
-      result.rewrite_applications += apps;
+      SM_ASSIGN_OR_RETURN(RewriteRunStats run, engine.Run(&phase_ctx));
+      RecordRun(&result, options, StrCat("phase3", tag), run);
+      span.SetAttribute("fires", static_cast<int64_t>(run.total_applications));
     }
     if (snapshot) {
       Snapshot(&result, options, StrCat("after-phase3", tag).c_str(), *g);
     }
+    SpanScope span(tracer, StrCat("plan-optimize-2", tag), "optimizer");
     PlanInfo plan2 = OptimizePlan(g, catalog, CostOptionsFor(options.strategy));
+    span.SetAttribute("C2", plan2.total_cost);
     return plan2.total_cost;
   };
 
@@ -207,6 +290,17 @@ Result<PipelineResult> OptimizeQuery(std::unique_ptr<QueryGraph> graph,
   } else {
     result.emst_chosen = true;
     result.graph = std::move(*winner);
+  }
+  optimize_span.SetAttribute("C1", result.cost_no_emst);
+  optimize_span.SetAttribute("C2", result.cost_with_emst);
+  optimize_span.SetAttribute("emst_chosen", result.emst_chosen);
+  optimize_span.SetAttribute(
+      "rewrite_applications", static_cast<int64_t>(result.rewrite_applications));
+  if (options.metrics != nullptr) {
+    options.metrics->counter("pipeline.optimizations")->Add(1);
+    if (result.emst_chosen) {
+      options.metrics->counter("pipeline.emst_chosen")->Add(1);
+    }
   }
   SM_RETURN_IF_ERROR(result.graph->Validate());
   return result;

@@ -6,7 +6,10 @@
 #include <vector>
 
 #include "magic/emst_rule.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "optimizer/plan_optimizer.h"
+#include "rewrite/engine.h"
 
 namespace starmagic {
 
@@ -45,7 +48,27 @@ struct PipelineOptions {
   bool try_sips_order = true;
   /// Capture PrintGraph snapshots after each phase (Figure 4 bench).
   bool capture_snapshots = false;
+  /// Span sink for the optimization lifecycle (phase spans with C1/C2 and
+  /// adornment counts, per-rule fire events). No-op when null or disabled.
+  Tracer* tracer = nullptr;
+  /// Counter sink ("rewrite.fires.<rule>", "pipeline.emst_chosen", ...).
+  MetricsRegistry* metrics = nullptr;
 };
+
+/// One (phase, rule) row of the per-rule fire table: which rewrite rules
+/// fired in which pipeline phase, and how long their Apply calls took.
+struct RuleFireStats {
+  std::string phase;  ///< "phase1", "phase2", "phase3", "phase2-sips", ...
+  std::string rule;
+  int64_t fires = 0;
+  int64_t attempts = 0;
+  double wall_ms = 0;
+};
+
+/// Renders `fires` as an aligned table, rows with zero fires elided unless
+/// `include_zero`.
+std::string RuleFireTable(const std::vector<RuleFireStats>& fires,
+                          bool include_zero = false);
 
 struct PipelineResult {
   std::unique_ptr<QueryGraph> graph;  ///< the chosen, plan-optimized graph
@@ -53,7 +76,9 @@ struct PipelineResult {
   double cost_with_emst = 0;          ///< C2: plan cost after EMST (magic only)
   bool emst_applied = false;          ///< EMST pipeline ran
   bool emst_chosen = false;           ///< transformed plan was the winner
-  int rewrite_applications = 0;
+  int rewrite_applications = 0;       ///< total across phases (= sum of fires)
+  /// Per-phase per-rule fire breakdown (phase-1/2/3 distinguished).
+  std::vector<RuleFireStats> rule_fires;
   /// (phase label, PrintGraph snapshot) pairs when capture_snapshots.
   std::vector<std::pair<std::string, std::string>> snapshots;
 };

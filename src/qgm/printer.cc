@@ -33,6 +33,12 @@ std::vector<Box*> SortedBoxes(const QueryGraph& graph) {
 }  // namespace
 
 std::string PrintGraph(const QueryGraph& graph) {
+  return PrintGraphAnnotated(graph, nullptr);
+}
+
+std::string PrintGraphAnnotated(
+    const QueryGraph& graph,
+    const std::function<std::string(const Box&)>& annotator) {
   auto namer = ColumnNamer(graph);
   std::string out;
   out += StrCat("QueryGraph top=",
@@ -45,6 +51,10 @@ std::string PrintGraph(const QueryGraph& graph) {
                       : StrCat(" [", BoxRoleName(box->role()), "]"),
                   box->enforce_distinct() ? " DISTINCT" : "",
                   box->duplicate_free() ? " dup-free" : "", "\n");
+    if (annotator != nullptr) {
+      std::string note = annotator(*box);
+      if (!note.empty()) out += StrCat("  ", note, "\n");
+    }
     if (box->kind() == BoxKind::kBaseTable) {
       out += StrCat("  table: ", box->table_name(),
                     box->access_path().empty()

@@ -1,6 +1,7 @@
 #ifndef STARMAGIC_QGM_PRINTER_H_
 #define STARMAGIC_QGM_PRINTER_H_
 
+#include <functional>
 #include <string>
 
 #include "qgm/graph.h"
@@ -11,6 +12,13 @@ namespace starmagic {
 /// role, adornment, quantifiers, predicates, and outputs. Stable ordering
 /// (box id) so tests can compare snapshots.
 std::string PrintGraph(const QueryGraph& graph);
+
+/// PrintGraph with a per-box annotation callback (EXPLAIN ANALYZE): the
+/// returned string, when non-empty, is inserted as an indented line right
+/// under the box header.
+std::string PrintGraphAnnotated(
+    const QueryGraph& graph,
+    const std::function<std::string(const Box&)>& annotator);
 
 /// Graphviz DOT rendering (boxes as nodes, quantifier edges).
 std::string PrintGraphDot(const QueryGraph& graph);

@@ -1,10 +1,18 @@
 #include "rewrite/engine.h"
 
+#include <chrono>
 #include <set>
 
 #include "common/string_util.h"
 
 namespace starmagic {
+
+int64_t RewriteRunStats::FiresOf(const std::string& rule) const {
+  for (const RuleRunStats& r : rules) {
+    if (r.rule == rule) return r.fires;
+  }
+  return 0;
+}
 
 std::vector<Box*> DepthFirstBoxes(const QueryGraph& graph) {
   std::vector<Box*> order;
@@ -29,10 +37,19 @@ void RewriteEngine::AddRule(std::unique_ptr<RewriteRule> rule) {
   rules_.push_back(Entry{std::move(rule), true});
 }
 
-void RewriteEngine::SetEnabled(const std::string& name, bool enabled) {
+bool RewriteEngine::SetEnabled(const std::string& name, bool enabled) {
+  bool found = false;
   for (Entry& e : rules_) {
-    if (name == e.rule->name()) e.enabled = enabled;
+    if (name == e.rule->name()) {
+      e.enabled = enabled;
+      found = true;
+    }
   }
+  if (!found && tracer_ != nullptr) {
+    tracer_->AddEvent("rewrite.unknown_rule", "rewrite",
+                      {{"rule", name}, {"enabled", enabled}});
+  }
+  return found;
 }
 
 bool RewriteEngine::IsEnabled(const std::string& name) const {
@@ -42,11 +59,23 @@ bool RewriteEngine::IsEnabled(const std::string& name) const {
   return false;
 }
 
-Result<int> RewriteEngine::Run(RewriteContext* ctx) {
+Result<RewriteRunStats> RewriteEngine::Run(RewriteContext* ctx) {
+  using Clock = std::chrono::steady_clock;
+  RewriteRunStats run;
+  run.rules.reserve(rules_.size());
+  for (const Entry& e : rules_) {
+    run.rules.push_back(RuleRunStats{e.rule->name(), 0, 0, 0});
+  }
+  Tracer* tracer = ctx->tracer != nullptr ? ctx->tracer : tracer_;
+
   int total = 0;
   bool changed = true;
   while (changed) {
     changed = false;
+    ++run.passes;
+    SpanScope pass_span(tracer, StrCat("rewrite-pass ", run.passes),
+                        "rewrite");
+    int fires_this_pass = 0;
     // Snapshot the traversal; rules may mutate the graph, in which case we
     // restart the pass (boxes may be dead).
     std::vector<Box*> order = DepthFirstBoxes(*ctx->graph);
@@ -63,16 +92,35 @@ Result<int> RewriteEngine::Run(RewriteContext* ctx) {
         changed = true;
         break;
       }
-      for (Entry& e : rules_) {
+      for (size_t ri = 0; ri < rules_.size(); ++ri) {
+        Entry& e = rules_[ri];
         if (!e.enabled) continue;
+        RuleRunStats& rstats = run.rules[ri];
         std::string debug_id;
-        if (ctx->trace != nullptr) debug_id = box->DebugId();
-        SM_ASSIGN_OR_RETURN(bool fired, e.rule->Apply(ctx, box));
-        if (fired) {
+        if (ctx->trace != nullptr ||
+            (tracer != nullptr && tracer->enabled())) {
+          debug_id = box->DebugId();
+        }
+        ++rstats.attempts;
+        Clock::time_point start = Clock::now();
+        Result<bool> applied = e.rule->Apply(ctx, box);
+        rstats.wall_ms +=
+            std::chrono::duration_cast<std::chrono::nanoseconds>(
+                Clock::now() - start)
+                .count() /
+            1e6;
+        if (!applied.ok()) return applied.status();
+        if (*applied) {
           ++total;
+          ++fires_this_pass;
+          ++rstats.fires;
           ctx->applications++;
           if (ctx->trace != nullptr) {
             *ctx->trace += StrCat(e.rule->name(), " fired at ", debug_id, "\n");
+          }
+          if (tracer != nullptr && tracer->enabled()) {
+            tracer->AddEvent("rule-fire", "rewrite",
+                             {{"rule", e.rule->name()}, {"box", debug_id}});
           }
           if (total > max_applications_) {
             return Status::Internal(
@@ -87,8 +135,11 @@ Result<int> RewriteEngine::Run(RewriteContext* ctx) {
       if (ctx->graph->GetBox(box_id) != box) break;
     }
     ctx->graph->GarbageCollect();
+    pass_span.SetAttribute("fires", static_cast<int64_t>(fires_this_pass));
+    pass_span.SetAttribute("boxes", static_cast<int64_t>(order.size()));
   }
-  return total;
+  run.total_applications = total;
+  return run;
 }
 
 }  // namespace starmagic

@@ -9,6 +9,25 @@
 
 namespace starmagic {
 
+/// Per-rule outcome of one RewriteEngine::Run (the paper's Table-1 story
+/// depends on attributing *which* rules fired in which phase).
+struct RuleRunStats {
+  std::string rule;
+  int64_t fires = 0;     ///< applications that changed the graph
+  int64_t attempts = 0;  ///< (rule, box) offers
+  double wall_ms = 0;    ///< time spent inside Apply (fired or not)
+};
+
+/// Aggregate outcome of one RewriteEngine::Run.
+struct RewriteRunStats {
+  int total_applications = 0;
+  int passes = 0;  ///< fixpoint passes, including the final no-change pass
+  std::vector<RuleRunStats> rules;  ///< one entry per added rule, add order
+
+  /// Fires of `rule`, or 0 when the rule is absent.
+  int64_t FiresOf(const std::string& rule) const;
+};
+
 /// Forward-chaining rule engine (§3.1). A cursor traverses the boxes of
 /// the query graph depth-first from the top; at each box every enabled
 /// rule is offered the box. Passes repeat until a fixpoint (no rule fires
@@ -21,12 +40,18 @@ class RewriteEngine {
   void AddRule(std::unique_ptr<RewriteRule> rule);
 
   /// Enables/disables a rule by name (EMST is only enabled in phase 2,
-  /// §3.3). Unknown names are ignored.
-  void SetEnabled(const std::string& name, bool enabled);
+  /// §3.3). Returns false — and emits a warning event on the configured
+  /// tracer — when no rule has that name, so configuration typos are
+  /// detectable.
+  bool SetEnabled(const std::string& name, bool enabled);
   bool IsEnabled(const std::string& name) const;
 
-  /// Runs to fixpoint. Returns the number of rule applications.
-  Result<int> Run(RewriteContext* ctx);
+  /// Tracer for SetEnabled warnings and (when ctx->tracer is null) Run
+  /// instrumentation. May be null.
+  void set_tracer(Tracer* tracer) { tracer_ = tracer; }
+
+  /// Runs to fixpoint. Returns per-rule fire counts and wall time.
+  Result<RewriteRunStats> Run(RewriteContext* ctx);
 
   /// Safety budget (default 10000 applications).
   void set_max_applications(int n) { max_applications_ = n; }
@@ -38,6 +63,7 @@ class RewriteEngine {
   };
   std::vector<Entry> rules_;
   int max_applications_ = 10000;
+  Tracer* tracer_ = nullptr;
 };
 
 /// Depth-first (pre-order) box order from the top box; shared with the

@@ -6,6 +6,7 @@
 
 #include "catalog/catalog.h"
 #include "common/status.h"
+#include "obs/trace.h"
 #include "qgm/graph.h"
 
 namespace starmagic {
@@ -18,6 +19,9 @@ struct RewriteContext {
   int applications = 0;
   /// Optional trace sink: when non-null, rules append one line per firing.
   std::string* trace = nullptr;
+  /// Optional span tracer: the engine emits pass spans and per-fire events
+  /// into it (no-op when null or disabled).
+  Tracer* tracer = nullptr;
 };
 
 /// A query-rewrite rule in the Starburst style (§3.1): the engine calls

@@ -272,6 +272,7 @@ enum class StatementKind {
   kDropView,
   kDropIndex,
   kAnalyze,
+  kExplain,
 };
 
 struct AstStatement {
@@ -340,6 +341,14 @@ struct AstDrop : AstStatement {
 struct AstAnalyze : AstStatement {
   AstAnalyze() : AstStatement(StatementKind::kAnalyze) {}
   std::string table;  ///< empty = all tables
+};
+
+/// EXPLAIN [ANALYZE] <query>: plan (and with ANALYZE, execute) the query
+/// and return the annotated plan as the result instead of the query rows.
+struct AstExplain : AstStatement {
+  AstExplain() : AstStatement(StatementKind::kExplain) {}
+  bool analyze = false;
+  std::unique_ptr<AstBlob> query;
 };
 
 }  // namespace starmagic

@@ -21,7 +21,7 @@ const std::set<std::string>& Keywords() {
       "FLOAT",  "VARCHAR",   "TEXT",     "BOOLEAN",   "COUNT",    "SUM",
       "AVG",    "MIN",       "MAX",      "ANY",       "SOME",     "DROP",
       "LIMIT",  "ANALYZE",   "GROUPBY",  "UPDATE",    "SET",      "DELETE",
-      "INDEX",  "ON",        "USING",    "HASH",      "ORDERED",
+      "INDEX",  "ON",        "USING",    "HASH",      "ORDERED",  "EXPLAIN",
   };
   return *kKeywords;
 }

@@ -114,6 +114,12 @@ class Parser {
       if (Peek().type == TokenType::kIdentifier) stmt->table = Advance().text;
       return std::unique_ptr<AstStatement>(std::move(stmt));
     }
+    if (ConsumeKeyword("EXPLAIN")) {
+      auto stmt = std::make_unique<AstExplain>();
+      stmt->analyze = ConsumeKeyword("ANALYZE");
+      SM_ASSIGN_OR_RETURN(stmt->query, ParseBlob());
+      return std::unique_ptr<AstStatement>(std::move(stmt));
+    }
     return Status::ParseError(StrCat("expected a statement, got ",
                                      Peek().Describe(), " at line ",
                                      Peek().line));

@@ -1,0 +1,387 @@
+// Observability subsystem: the span tracer, the metrics registry, the
+// Chrome trace_event export, and the EXPLAIN ANALYZE invariants (per-box
+// row counts reconcile exactly with the executor's work counters, and
+// identical runs produce identical counters).
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "engine/database.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "rewrite/constant_folding.h"
+#include "rewrite/engine.h"
+
+namespace starmagic {
+namespace {
+
+// Minimal structural JSON check: balanced {} / [] outside string literals,
+// legal escapes inside them, and no trailing garbage. Not a full parser,
+// but catches every way the exporter could emit broken JSON (unescaped
+// quotes/newlines, unbalanced nesting, truncation).
+bool JsonWellFormed(const std::string& text) {
+  std::vector<char> stack;
+  bool in_string = false;
+  for (size_t i = 0; i < text.size(); ++i) {
+    char c = text[i];
+    if (in_string) {
+      if (c == '\\') {
+        if (i + 1 >= text.size()) return false;
+        char e = text[i + 1];
+        if (e != '"' && e != '\\' && e != '/' && e != 'b' && e != 'f' &&
+            e != 'n' && e != 'r' && e != 't' && e != 'u') {
+          return false;
+        }
+        ++i;
+      } else if (c == '"') {
+        in_string = false;
+      } else if (static_cast<unsigned char>(c) < 0x20) {
+        return false;  // raw control character inside a string
+      }
+      continue;
+    }
+    switch (c) {
+      case '"': in_string = true; break;
+      case '{': stack.push_back('}'); break;
+      case '[': stack.push_back(']'); break;
+      case '}':
+      case ']':
+        if (stack.empty() || stack.back() != c) return false;
+        stack.pop_back();
+        break;
+      default: break;
+    }
+  }
+  return !in_string && stack.empty();
+}
+
+TEST(TracerTest, DisabledRecordsNothing) {
+  Tracer tracer;
+  EXPECT_FALSE(tracer.enabled());
+  EXPECT_EQ(tracer.BeginSpan("ignored"), -1);
+  tracer.AddEvent("ignored");
+  EXPECT_TRUE(tracer.spans().empty());
+  EXPECT_TRUE(tracer.events().empty());
+  // SpanScope on a null tracer is a no-op, not a crash.
+  SpanScope null_scope(nullptr, "ignored");
+  EXPECT_EQ(null_scope.span_id(), -1);
+}
+
+TEST(TracerTest, SpansNestUnderInnermostOpenSpan) {
+  Tracer tracer(true);
+  int root = tracer.BeginSpan("root", "test");
+  int child = tracer.BeginSpan("child", "test");
+  int grandchild = tracer.BeginSpan("grandchild", "test");
+  tracer.EndSpan(grandchild);
+  int sibling = tracer.BeginSpan("sibling", "test");
+  tracer.EndSpan(sibling);
+  tracer.EndSpan(child);
+  tracer.EndSpan(root);
+
+  ASSERT_EQ(tracer.spans().size(), 4u);
+  EXPECT_EQ(tracer.spans()[root].parent_id, -1);
+  EXPECT_EQ(tracer.spans()[child].parent_id, root);
+  EXPECT_EQ(tracer.spans()[grandchild].parent_id, child);
+  EXPECT_EQ(tracer.spans()[sibling].parent_id, child);
+  for (const SpanRecord& span : tracer.spans()) {
+    EXPECT_TRUE(span.closed()) << span.name;
+    EXPECT_GE(span.end_us, span.begin_us) << span.name;
+  }
+}
+
+TEST(TracerTest, EndSpanClosesEverythingOpenedAfterIt) {
+  Tracer tracer(true);
+  int root = tracer.BeginSpan("root");
+  tracer.BeginSpan("leaked-child");
+  tracer.BeginSpan("leaked-grandchild");
+  tracer.EndSpan(root);  // error-path pattern: children never ended
+  for (const SpanRecord& span : tracer.spans()) {
+    EXPECT_TRUE(span.closed()) << span.name;
+  }
+  // The stack is empty again: the next span is a root.
+  int next = tracer.BeginSpan("next");
+  EXPECT_EQ(tracer.spans()[next].parent_id, -1);
+}
+
+TEST(TracerTest, AttributesAndEvents) {
+  Tracer tracer(true);
+  int span = tracer.BeginSpan("work", "test");
+  tracer.SetAttribute(span, "rows", int64_t{42});
+  tracer.SetAttribute(span, "phase", "phase2");
+  tracer.SetAttribute(span, "rows", int64_t{43});  // last write wins
+  tracer.AddEvent("warning", "test", {{"detail", "boom"}});
+  tracer.EndSpan(span);
+
+  const SpanRecord& record = tracer.spans()[span];
+  const TraceValue* rows = record.FindAttribute("rows");
+  ASSERT_NE(rows, nullptr);
+  EXPECT_EQ(rows->i, 43);
+  const TraceValue* phase = record.FindAttribute("phase");
+  ASSERT_NE(phase, nullptr);
+  EXPECT_EQ(phase->str, "phase2");
+  EXPECT_EQ(record.FindAttribute("absent"), nullptr);
+
+  ASSERT_EQ(tracer.events().size(), 1u);
+  EXPECT_EQ(tracer.events()[0].name, "warning");
+  EXPECT_EQ(tracer.events()[0].parent_span, span);
+}
+
+TEST(TracerTest, SpanScopeClosesOnDestructionAndEarlyEndIsIdempotent) {
+  Tracer tracer(true);
+  {
+    SpanScope outer(&tracer, "outer");
+    outer.SetAttribute("k", true);
+    {
+      SpanScope inner(&tracer, "inner");
+      inner.End();
+      inner.End();  // idempotent
+    }
+  }
+  ASSERT_EQ(tracer.spans().size(), 2u);
+  for (const SpanRecord& span : tracer.spans()) {
+    EXPECT_TRUE(span.closed()) << span.name;
+  }
+}
+
+TEST(TracerTest, TraceEventJsonIsWellFormedWithHostileNames) {
+  Tracer tracer(true);
+  int span = tracer.BeginSpan("quote \" backslash \\ newline \n tab \t");
+  tracer.SetAttribute(span, "key \"x\"", "value\nwith\tescapes\\");
+  tracer.AddEvent("event \"e\"");
+  tracer.EndSpan(span);
+  tracer.BeginSpan("left-open");  // exported as if it ended now
+
+  std::string json = tracer.ToTraceEventJson();
+  EXPECT_TRUE(JsonWellFormed(json)) << json;
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\": \"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\": \"i\""), std::string::npos);
+}
+
+TEST(TracerTest, JsonEscapeHandlesControlCharacters) {
+  EXPECT_EQ(JsonEscape("plain"), "plain");
+  EXPECT_EQ(JsonEscape("a\"b"), "a\\\"b");
+  EXPECT_EQ(JsonEscape("a\\b"), "a\\\\b");
+  EXPECT_EQ(JsonEscape("a\nb"), "a\\nb");
+  EXPECT_EQ(JsonEscape(std::string("a\x01") + "b"), "a\\u0001b");
+}
+
+TEST(TracerTest, ClearKeepsEnabledFlag) {
+  Tracer tracer(true);
+  tracer.BeginSpan("s");
+  tracer.AddEvent("e");
+  tracer.Clear();
+  EXPECT_TRUE(tracer.enabled());
+  EXPECT_TRUE(tracer.spans().empty());
+  EXPECT_TRUE(tracer.events().empty());
+}
+
+TEST(MetricsTest, CountersAndHistograms) {
+  MetricsRegistry registry;
+  registry.counter("exec.cache_hits")->Add(3);
+  registry.counter("exec.cache_hits")->Add();
+  EXPECT_EQ(registry.CounterValue("exec.cache_hits"), 4);
+  // CounterValue on an untouched name reads 0 without inserting it.
+  EXPECT_EQ(registry.CounterValue("never.touched"), 0);
+  EXPECT_EQ(registry.counters().count("never.touched"), 0u);
+
+  Histogram* h = registry.histogram("exec.rows_per_query");
+  h->Observe(1);
+  h->Observe(5);
+  h->Observe(100);
+  EXPECT_EQ(h->count(), 3);
+  EXPECT_DOUBLE_EQ(h->sum(), 106);
+  EXPECT_DOUBLE_EQ(h->min(), 1);
+  EXPECT_DOUBLE_EQ(h->max(), 100);
+
+  std::string dump = registry.ToString();
+  EXPECT_NE(dump.find("exec.cache_hits 4"), std::string::npos);
+  EXPECT_NE(dump.find("exec.rows_per_query count=3"), std::string::npos);
+
+  registry.Clear();
+  EXPECT_EQ(registry.CounterValue("exec.cache_hits"), 0);
+}
+
+TEST(MetricsTest, ToStringIsNameSorted) {
+  MetricsRegistry registry;
+  registry.counter("zebra")->Add(1);
+  registry.counter("alpha")->Add(2);
+  std::string dump = registry.ToString();
+  EXPECT_LT(dump.find("alpha"), dump.find("zebra"));
+}
+
+TEST(RewriteEngineTest, SetEnabledReportsUnknownRules) {
+  Tracer tracer(true);
+  RewriteEngine engine;
+  engine.set_tracer(&tracer);
+  engine.AddRule(std::make_unique<ConstantFoldingRule>());
+  EXPECT_TRUE(engine.SetEnabled("constant-folding", false));
+  EXPECT_FALSE(engine.IsEnabled("constant-folding"));
+  EXPECT_TRUE(engine.SetEnabled("constant-folding", true));
+
+  EXPECT_FALSE(engine.SetEnabled("no-such-rule", true));
+  ASSERT_FALSE(tracer.events().empty());
+  EXPECT_EQ(tracer.events().back().name, "rewrite.unknown_rule");
+}
+
+// End-to-end fixture: the paper's employee/department schema with an
+// aggregate view, small enough for the magic pipeline to run every phase.
+class ObsQueryTest : public ::testing::Test {
+ protected:
+  void Populate(Database* db) {
+    ASSERT_TRUE(db->ExecuteScript(R"sql(
+      CREATE TABLE department (deptno INTEGER, deptname VARCHAR);
+      CREATE TABLE employee (empno INTEGER, workdept INTEGER,
+                             salary DOUBLE);
+    )sql").ok());
+    Table* dept = db->catalog()->GetTable("department");
+    Table* emp = db->catalog()->GetTable("employee");
+    for (int d = 0; d < 8; ++d) {
+      ASSERT_TRUE(dept->Append({Value::Int(d),
+                                Value::String(d == 2 ? "Planning"
+                                                     : "D" + std::to_string(d))})
+                      .ok());
+    }
+    for (int e = 0; e < 64; ++e) {
+      ASSERT_TRUE(emp->Append({Value::Int(e), Value::Int(e % 8),
+                               Value::Double(20000.0 + 100.0 * e)})
+                      .ok());
+    }
+    ASSERT_TRUE(db->SetPrimaryKey("department", {"deptno"}).ok());
+    ASSERT_TRUE(db->ExecuteScript(R"sql(
+      CREATE VIEW avgDeptSal (workdept, avgsalary) AS
+        SELECT workdept, AVG(salary) FROM employee GROUP BY workdept;
+    )sql").ok());
+    ASSERT_TRUE(db->AnalyzeAll().ok());
+  }
+
+  const std::string query_ =
+      "SELECT d.deptname, s.avgsalary FROM department d, avgDeptSal s "
+      "WHERE d.deptno = s.workdept AND d.deptname = 'Planning'";
+};
+
+TEST_F(ObsQueryTest, QueryLifecycleEmitsClosedNestedSpans) {
+  Database db;
+  Populate(&db);
+  Tracer tracer(true);
+  QueryOptions options(ExecutionStrategy::kMagic);
+  options.tracer = &tracer;
+  auto result = db.Query(query_, options);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  ASSERT_EQ(result->table.num_rows(), 1);
+
+  bool saw_optimize = false;
+  bool saw_execute = false;
+  for (const SpanRecord& span : tracer.spans()) {
+    EXPECT_TRUE(span.closed()) << span.name;
+    // Parents always precede children and exist.
+    if (span.parent_id != -1) {
+      ASSERT_GE(span.parent_id, 0);
+      ASSERT_LT(span.parent_id, span.id);
+    }
+    if (span.name == "optimize") saw_optimize = true;
+    if (span.name == "execute") saw_execute = true;
+  }
+  EXPECT_TRUE(saw_optimize);
+  EXPECT_TRUE(saw_execute);
+  std::string json = tracer.ToTraceEventJson();
+  EXPECT_TRUE(JsonWellFormed(json));
+}
+
+TEST_F(ObsQueryTest, ExplainAnalyzeRowsReconcileWithExecStats) {
+  Database db;
+  Populate(&db);
+  QueryOptions options(ExecutionStrategy::kMagic);
+  auto result = db.Query("EXPLAIN ANALYZE " + query_, options);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+
+  // Every row the executor produced is attributed to exactly one box.
+  ASSERT_FALSE(result->box_stats.empty());
+  int64_t rows_out = 0;
+  for (const auto& [box_id, stats] : result->box_stats) {
+    rows_out += stats.rows_out;
+  }
+  EXPECT_EQ(rows_out, result->exec_stats.rows_produced);
+
+  EXPECT_NE(result->analyze_report.find("EXPLAIN ANALYZE"),
+            std::string::npos);
+  EXPECT_NE(result->analyze_report.find("act_rows="), std::string::npos);
+  EXPECT_NE(result->analyze_report.find("est_rows="), std::string::npos);
+  EXPECT_NE(result->analyze_report.find("rule fires:"), std::string::npos);
+  // The report is also the result table, one line per row.
+  EXPECT_GT(result->table.num_rows(), 0);
+}
+
+TEST_F(ObsQueryTest, PlainExplainSkipsExecution) {
+  Database db;
+  Populate(&db);
+  auto result = db.Query("EXPLAIN " + query_);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_TRUE(result->box_stats.empty());
+  EXPECT_EQ(result->exec_stats.rows_produced, 0);
+  EXPECT_NE(result->analyze_report.find("est_rows="), std::string::npos);
+  EXPECT_EQ(result->analyze_report.find("act_rows="), std::string::npos);
+}
+
+TEST_F(ObsQueryTest, RuleFiresArePhaseTagged) {
+  Database db;
+  Populate(&db);
+  QueryOptions options(ExecutionStrategy::kMagic);
+  auto result = db.Query(query_, options);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  ASSERT_FALSE(result->rule_fires.empty());
+  bool saw_phase1 = false;
+  int64_t total = 0;
+  for (const RuleFireStats& f : result->rule_fires) {
+    EXPECT_FALSE(f.phase.empty());
+    EXPECT_FALSE(f.rule.empty());
+    if (f.phase == "phase1") saw_phase1 = true;
+    total += f.fires;
+  }
+  EXPECT_TRUE(saw_phase1);
+  EXPECT_EQ(total, result->rewrite_applications);
+}
+
+TEST_F(ObsQueryTest, CountersAreDeterministicAcrossIdenticalRuns) {
+  std::string dumps[2];
+  for (int run = 0; run < 2; ++run) {
+    Database db;
+    Populate(&db);
+    MetricsRegistry metrics;
+    QueryOptions options(ExecutionStrategy::kMagic);
+    options.metrics = &metrics;
+    auto result = db.Query(query_, options);
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    auto explained = db.Query("EXPLAIN ANALYZE " + query_, options);
+    ASSERT_TRUE(explained.ok()) << explained.status().ToString();
+    dumps[run] = metrics.ToString();
+  }
+  EXPECT_EQ(dumps[0], dumps[1]);
+  EXPECT_FALSE(dumps[0].empty());
+  EXPECT_NE(dumps[0].find("query.executions 2"), std::string::npos);
+}
+
+TEST_F(ObsQueryTest, DisabledTracerLeavesCountersUnchanged) {
+  // Instrumentation must not alter the engine's observable behavior: the
+  // deterministic work counters are identical with tracing on and off.
+  ExecStats stats[2];
+  for (int run = 0; run < 2; ++run) {
+    Database db;
+    Populate(&db);
+    Tracer tracer(run == 1);
+    QueryOptions options(ExecutionStrategy::kMagic);
+    options.tracer = &tracer;
+    auto result = db.Query(query_, options);
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    stats[run] = result->exec_stats;
+  }
+  EXPECT_EQ(stats[0].TotalWork(), stats[1].TotalWork());
+  EXPECT_EQ(stats[0].rows_produced, stats[1].rows_produced);
+  EXPECT_EQ(stats[0].cache_hits, stats[1].cache_hits);
+  EXPECT_EQ(stats[0].cache_misses, stats[1].cache_misses);
+}
+
+}  // namespace
+}  // namespace starmagic

@@ -50,7 +50,7 @@ class RewriteTest : public ::testing::Test {
     ctx.catalog = &catalog_;
     auto r = engine.Run(&ctx);
     EXPECT_TRUE(r.ok()) << r.status().ToString();
-    return r.ok() ? *r : -1;
+    return r.ok() ? r->total_applications : -1;
   }
 
   Catalog catalog_;
@@ -270,7 +270,7 @@ TEST_F(RewriteTest, EngineRunsToFixpointWithAllRules) {
   ctx.catalog = &catalog_;
   auto r = engine.Run(&ctx);
   ASSERT_TRUE(r.ok()) << r.status().ToString();
-  EXPECT_GT(*r, 0);
+  EXPECT_GT(r->total_applications, 0);
   EXPECT_TRUE(g->Validate().ok());
 }
 
@@ -278,15 +278,16 @@ TEST_F(RewriteTest, EngineEnableDisableByName) {
   RewriteEngine engine;
   engine.AddRule(std::make_unique<MergeRule>());
   EXPECT_TRUE(engine.IsEnabled("merge"));
-  engine.SetEnabled("merge", false);
+  EXPECT_TRUE(engine.SetEnabled("merge", false));
   EXPECT_FALSE(engine.IsEnabled("merge"));
+  EXPECT_FALSE(engine.SetEnabled("no-such-rule", false));
   auto g = Build("SELECT x.empno FROM (SELECT empno FROM emp) x");
   RewriteContext ctx;
   ctx.graph = g.get();
   ctx.catalog = &catalog_;
   auto r = engine.Run(&ctx);
   ASSERT_TRUE(r.ok());
-  EXPECT_EQ(*r, 0);  // disabled rule never fires
+  EXPECT_EQ(r->total_applications, 0);  // disabled rule never fires
 }
 
 }  // namespace
