@@ -12,9 +12,11 @@
 // Each section runs a query with the knob on and off and reports work and
 // graph complexity.
 
+#include <chrono>
 #include <cstdio>
 #include <string>
 
+#include "bench_json.h"
 #include "qgm/printer.h"
 #include "workloads.h"
 
@@ -25,6 +27,8 @@ struct RunResult {
   int64_t work = 0;
   int boxes = 0;
   bool emst_chosen = false;
+  double ms = 0;
+  int64_t rows = 0;
 };
 
 Result<RunResult> RunWith(Database* db, const std::string& sql,
@@ -37,23 +41,28 @@ Result<RunResult> RunWith(Database* db, const std::string& sql,
   exec_options.tracer = tracer;
   SM_ASSIGN_OR_RETURN(PipelineResult p, db->Explain(sql, options));
   Executor executor(p.graph.get(), db->catalog(), exec_options);
+  auto start = std::chrono::steady_clock::now();
   SM_ASSIGN_OR_RETURN(Table t, executor.Run());
-  (void)t;
+  auto end = std::chrono::steady_clock::now();
   RunResult r;
   r.work = executor.stats().TotalWork();
   r.boxes = p.graph->NumBoxes();
   r.emst_chosen = p.emst_chosen;
+  r.ms = std::chrono::duration<double, std::milli>(end - start).count();
+  r.rows = t.num_rows();
   return r;
 }
 
-void PrintRow(const char* label, const Result<RunResult>& on,
-              const Result<RunResult>& off) {
+void PrintRow(BenchJson* report, const char* workload, const char* label,
+              const Result<RunResult>& on, const Result<RunResult>& off) {
   if (!on.ok() || !off.ok()) {
     std::printf("%-34s FAILED: %s / %s\n", label,
                 on.status().ToString().c_str(),
                 off.status().ToString().c_str());
     return;
   }
+  report->Add({workload, "on", on->work, on->ms, on->rows});
+  report->Add({workload, "off", off->work, off->ms, off->rows});
   std::printf("%-34s  on: work=%-9lld boxes=%-3d   off: work=%-9lld boxes=%-3d"
               "  (off/on work = %.2fx)\n",
               label, static_cast<long long>(on->work), on->boxes,
@@ -85,6 +94,7 @@ int Run() {
   PipelineOptions defaults;
   defaults.cost_compare = false;  // show the raw effect of each knob
 
+  BenchJson report("ablation", config.num_employees);
   std::printf("EMST design-choice ablations (magic strategy forced)\n\n");
 
   {
@@ -98,7 +108,8 @@ int Run() {
         "AND d.deptno = s.workdept";
     PipelineOptions off = defaults;
     off.emst.use_supplementary = false;
-    PrintRow("supplementary-magic-boxes", RunWith(&db, sql, defaults, obs.tracer()),
+    PrintRow(&report, "supplementary", "supplementary-magic-boxes",
+             RunWith(&db, sql, defaults, obs.tracer()),
              RunWith(&db, sql, off, obs.tracer()));
   }
   {
@@ -108,7 +119,8 @@ int Run() {
         "WHERE a.dept <= d.deptno AND d.deptname = 'Planning'";
     PipelineOptions off = defaults;
     off.emst.push_conditions = false;
-    PrintRow("condition magic (c adornments)", RunWith(&db, sql, defaults, obs.tracer()),
+    PrintRow(&report, "condition_magic", "condition magic (c adornments)",
+             RunWith(&db, sql, defaults, obs.tracer()),
              RunWith(&db, sql, off, obs.tracer()));
   }
   {
@@ -120,7 +132,8 @@ int Run() {
         "WHERE d.deptno = s.workdept AND d.deptname = 'Planning'";
     PipelineOptions off = defaults;
     off.toggles.distinct_pullup = false;
-    PrintRow("distinct pullup (phase-3 merges)", RunWith(&db, sql, defaults, obs.tracer()),
+    PrintRow(&report, "distinct_pullup", "distinct pullup (phase-3 merges)",
+             RunWith(&db, sql, defaults, obs.tracer()),
              RunWith(&db, sql, off, obs.tracer()));
   }
   {
@@ -131,7 +144,8 @@ int Run() {
         "WHERE p.pdept = a.dept";
     PipelineOptions off = defaults;
     off.try_sips_order = false;
-    PrintRow("sips-friendly join order", RunWith(&db, sql, defaults, obs.tracer()),
+    PrintRow(&report, "sips_order", "sips-friendly join order",
+             RunWith(&db, sql, defaults, obs.tracer()),
              RunWith(&db, sql, off, obs.tracer()));
   }
   return 0;

@@ -11,6 +11,7 @@
 #include <chrono>
 #include <cstdio>
 
+#include "bench_json.h"
 #include "qgm/printer.h"
 #include "workloads.h"
 
@@ -21,6 +22,7 @@ int Run() {
   BenchObs obs("figure1");
   Database db;
   EmpDeptConfig config;  // defaults: 2000 departments, 50000 employees
+  BenchJson report("figure1", BenchObs::Smoke() ? 500 : 50000);
   if (BenchObs::Smoke()) {
     config.num_departments = 50;
     config.num_employees = 500;
@@ -103,6 +105,7 @@ int Run() {
                 pipeline->graph->NumBoxes(), best_ms,
                 static_cast<long long>(work), static_cast<long long>(rows),
                 GraphComplexity(*pipeline->graph).c_str());
+    report.Add({"queryD", StrategyName(strategy), work, best_ms, rows});
     if (strategy == ExecutionStrategy::kOriginal) {
       original_ms = best_ms;
       original_work = work;

@@ -8,21 +8,38 @@
 // never does more work than the no-EMST plan (within a small tolerance for
 // tie-breaking).
 
+#include <chrono>
 #include <cstdio>
 #include <string>
 #include <vector>
 
+#include "bench_json.h"
+#include "common/string_util.h"
 #include "workloads.h"
 
 namespace starmagic::bench {
 namespace {
 
-Result<int64_t> WorkOf(Database* db, const std::string& sql,
-                       ExecutionStrategy strategy, Tracer* tracer) {
+struct Measured {
+  int64_t work = 0;
+  double ms = 0;
+  int64_t rows = 0;
+  bool emst_chosen = false;
+};
+
+Result<Measured> MeasureQuery(Database* db, const std::string& sql,
+                              ExecutionStrategy strategy, Tracer* tracer) {
   QueryOptions options(strategy);
   options.tracer = tracer;
+  auto start = std::chrono::steady_clock::now();
   SM_ASSIGN_OR_RETURN(QueryResult r, db->Query(sql, options));
-  return r.exec_stats.TotalWork();
+  auto end = std::chrono::steady_clock::now();
+  Measured m;
+  m.work = r.exec_stats.TotalWork();
+  m.ms = std::chrono::duration<double, std::milli>(end - start).count();
+  m.rows = r.table.num_rows();
+  m.emst_chosen = r.emst_chosen;
+  return m;
 }
 
 int Run() {
@@ -70,30 +87,33 @@ int Run() {
               "no-EMST plan\n\n");
   std::printf("%-3s %14s %14s %9s %s\n", "Q", "no-EMST work", "chosen work",
               "chosen", "verdict");
+  BenchJson report("heuristic", config.num_employees);
   int failures = 0;
   for (size_t i = 0; i < queries.size(); ++i) {
-    auto baseline =
-        WorkOf(&db, queries[i], ExecutionStrategy::kOriginal, obs.tracer());
-    QueryOptions magic_options(ExecutionStrategy::kMagic);
-    magic_options.tracer = obs.tracer();
-    auto chosen_r = db.Query(queries[i], magic_options);
-    if (!baseline.ok() || !chosen_r.ok()) {
+    auto baseline = MeasureQuery(&db, queries[i], ExecutionStrategy::kOriginal,
+                                 obs.tracer());
+    auto chosen = MeasureQuery(&db, queries[i], ExecutionStrategy::kMagic,
+                               obs.tracer());
+    if (!baseline.ok() || !chosen.ok()) {
       std::fprintf(stderr, "Q%zu failed: %s %s\n", i,
                    baseline.status().ToString().c_str(),
-                   chosen_r.status().ToString().c_str());
+                   chosen.status().ToString().c_str());
       ++failures;
       continue;
     }
-    int64_t chosen_work = chosen_r->exec_stats.TotalWork();
+    std::string workload = StrCat("Q", i);
+    report.Add({workload, "no-emst", baseline->work, baseline->ms,
+                baseline->rows});
+    report.Add({workload, "chosen", chosen->work, chosen->ms, chosen->rows});
     // Tolerance: magic tables add a few probes even when they help overall;
     // "cannot degrade" is about the plan-cost decision, which we verify by
     // measured work with 10% + constant slack.
-    bool ok = chosen_work <= *baseline + *baseline / 10 + 64;
+    bool ok = chosen->work <= baseline->work + baseline->work / 10 + 64;
     if (!ok) ++failures;
     std::printf("%-3zu %14lld %14lld %9s %s\n", i,
-                static_cast<long long>(*baseline),
-                static_cast<long long>(chosen_work),
-                chosen_r->emst_chosen ? "EMST" : "no-EMST",
+                static_cast<long long>(baseline->work),
+                static_cast<long long>(chosen->work),
+                chosen->emst_chosen ? "EMST" : "no-EMST",
                 ok ? "ok" : "DEGRADED");
   }
   std::printf("\n%s\n", failures == 0 ? "PROPERTY HOLDS" : "PROPERTY VIOLATED");

@@ -4,26 +4,21 @@
 // interesting comparison is EMST+index vs EMST+scan: the magic boxes are
 // what turn indexes into point probes.
 //
-// Emits BENCH_index.json (machine-readable) next to the working directory:
-//   [{"workload": ..., "strategy": ..., "total_work": N, "wall_ms": X}, ...]
+// Emits BENCH_index.json in the unified bench schema (see bench_json.h);
+// validate/diff it with scripts/bench_report.py.
 
 #include <chrono>
 #include <cstdio>
 #include <string>
 #include <vector>
 
+#include "bench_json.h"
 #include "workloads.h"
 
 namespace starmagic::bench {
 namespace {
 
-struct Sample {
-  std::string workload;
-  std::string strategy;
-  int64_t total_work = 0;
-  double wall_ms = 0;
-  int64_t rows = 0;
-};
+using Sample = BenchSample;
 
 Result<Sample> Measure(Database* db, const std::string& sql,
                        ExecutionStrategy strategy, bool use_indexes,
@@ -54,6 +49,7 @@ Result<Sample> Measure(Database* db, const std::string& sql,
 
 int Run() {
   BenchObs obs("index");
+  BenchJson report("index", BenchObs::Smoke() ? 400 : 20000);
   Database db;
   auto check = [](const Status& s) {
     if (!s.ok()) {
@@ -112,7 +108,6 @@ int Run() {
       {"no-emst", ExecutionStrategy::kOriginal, true},
   };
 
-  std::vector<Sample> samples;
   std::printf("%-34s %-12s %14s %12s %8s\n", "workload", "strategy",
               "TotalWork", "wall(ms)", "rows");
   for (const Workload& w : workloads) {
@@ -135,29 +130,14 @@ int Run() {
         std::fprintf(stderr, "%s: row count diverged across modes\n", w.name);
         return 1;
       }
-      samples.push_back(std::move(*sample));
+      report.Add(std::move(*sample));
     }
   }
-
-  FILE* out = std::fopen("BENCH_index.json", "w");
-  if (out == nullptr) {
-    std::fprintf(stderr, "cannot write BENCH_index.json\n");
+  Status written = report.Write();
+  if (!written.ok()) {
+    std::fprintf(stderr, "%s\n", written.ToString().c_str());
     return 1;
   }
-  std::fprintf(out, "[\n");
-  for (size_t i = 0; i < samples.size(); ++i) {
-    const Sample& s = samples[i];
-    std::fprintf(out,
-                 "  {\"workload\": \"%s\", \"strategy\": \"%s\", "
-                 "\"total_work\": %lld, \"wall_ms\": %.3f, \"rows\": %lld}%s\n",
-                 s.workload.c_str(), s.strategy.c_str(),
-                 static_cast<long long>(s.total_work), s.wall_ms,
-                 static_cast<long long>(s.rows),
-                 i + 1 < samples.size() ? "," : "");
-  }
-  std::fprintf(out, "]\n");
-  std::fclose(out);
-  std::printf("\nwrote BENCH_index.json (%zu samples)\n", samples.size());
   return 0;
 }
 

@@ -1,0 +1,56 @@
+#include "bench_json.h"
+
+#include <cstdio>
+
+#include "common/string_util.h"
+#include "obs/trace.h"
+#include "workloads.h"
+
+namespace starmagic::bench {
+
+BenchJson::BenchJson(std::string bench, int64_t scale)
+    : bench_(std::move(bench)), scale_(scale) {}
+
+BenchJson::~BenchJson() {
+  if (samples_.empty()) return;
+  Status s = Write();
+  if (!s.ok()) std::fprintf(stderr, "bench json: %s\n", s.ToString().c_str());
+}
+
+std::string BenchJson::ToJson() const {
+  std::string out = StrCat("{\"schema_version\": 1, \"bench\": \"",
+                           JsonEscape(bench_), "\", \"scale\": ", scale_,
+                           ", \"smoke\": ", BenchObs::Smoke() ? "true" : "false",
+                           ", \"samples\": [");
+  for (size_t i = 0; i < samples_.size(); ++i) {
+    const BenchSample& s = samples_[i];
+    if (i > 0) out += ", ";
+    char wall[32];
+    std::snprintf(wall, sizeof(wall), "%.3f", s.wall_ms);
+    out += StrCat("{\"workload\": \"", JsonEscape(s.workload),
+                  "\", \"strategy\": \"", JsonEscape(s.strategy),
+                  "\", \"total_work\": ", s.total_work, ", \"wall_ms\": ", wall,
+                  ", \"rows\": ", s.rows, "}");
+  }
+  out += "]}\n";
+  return out;
+}
+
+Status BenchJson::Write() {
+  if (written_) return Status::OK();
+  std::string path = StrCat("BENCH_", bench_, ".json");
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    return Status::ExecutionError(
+        StrCat("cannot open '", path, "' for write"));
+  }
+  std::string json = ToJson();
+  std::fwrite(json.data(), 1, json.size(), f);
+  std::fclose(f);
+  std::printf("bench report written to %s (%zu samples)\n", path.c_str(),
+              samples_.size());
+  written_ = true;
+  return Status::OK();
+}
+
+}  // namespace starmagic::bench

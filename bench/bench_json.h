@@ -1,0 +1,67 @@
+#ifndef STARMAGIC_BENCH_BENCH_JSON_H_
+#define STARMAGIC_BENCH_BENCH_JSON_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace starmagic::bench {
+
+/// One measured (workload, strategy) cell of a bench run. `total_work` is
+/// the deterministic ExecStats::TotalWork counter — the value the
+/// regression harness diffs; `wall_ms` is informational (machine-noisy).
+struct BenchSample {
+  std::string workload;  ///< e.g. "A", "queryD", "bound_source"
+  std::string strategy;  ///< e.g. "Original", "Correlated", "EMST"
+  int64_t total_work = 0;
+  double wall_ms = 0;
+  int64_t rows = 0;  ///< rows the measured query produced
+};
+
+/// Collects BenchSamples and writes the unified BENCH_<name>.json schema
+/// shared by every bench binary (validated and diffed by
+/// scripts/bench_report.py):
+///
+///   {"schema_version": 1, "bench": "<name>", "scale": N, "smoke": bool,
+///    "samples": [{"workload": ..., "strategy": ..., "total_work": N,
+///                 "wall_ms": X, "rows": N}, ...]}
+///
+/// Construct it first thing in main (mirroring BenchObs), Add() each
+/// measurement, and either call Write() explicitly or let the destructor
+/// flush; Write() is idempotent and the destructor skips an already
+/// written (or empty) report.
+class BenchJson {
+ public:
+  /// `scale` is the bench's primary size knob at the scale actually run
+  /// (after any smoke shrink), so diffs across different scales are
+  /// rejected rather than reported as regressions.
+  BenchJson(std::string bench, int64_t scale);
+  ~BenchJson();
+
+  BenchJson(const BenchJson&) = delete;
+  BenchJson& operator=(const BenchJson&) = delete;
+
+  void Add(BenchSample sample) { samples_.push_back(std::move(sample)); }
+
+  /// Overrides the scale recorded at construction (for benches that only
+  /// know their final scale after parsing flags).
+  void set_scale(int64_t scale) { scale_ = scale; }
+
+  /// Writes BENCH_<bench>.json into the cwd. Idempotent.
+  Status Write();
+
+  /// The serialized report (exposed for tests).
+  std::string ToJson() const;
+
+ private:
+  std::string bench_;
+  int64_t scale_;
+  bool written_ = false;
+  std::vector<BenchSample> samples_;
+};
+
+}  // namespace starmagic::bench
+
+#endif  // STARMAGIC_BENCH_BENCH_JSON_H_

@@ -5,6 +5,9 @@
 
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+
+#include "bench_json.h"
 #include "qgm/builder.h"
 #include "sql/parser.h"
 #include "workloads.h"
@@ -107,11 +110,38 @@ void TracedWarmup() {
   (void)r;
 }
 
+// One deterministic optimize+execute pass of query D per strategy for the
+// regression harness (BENCH_microbench.json). Separate from the benchmark
+// iterations, whose timings are machine-noisy by design.
+void EmitBenchJson() {
+  BenchJson report("microbench", BenchObs::Smoke() ? 500 : 10000);
+  Database* db = SharedDb();
+  for (ExecutionStrategy strategy :
+       {ExecutionStrategy::kOriginal, ExecutionStrategy::kCorrelated,
+        ExecutionStrategy::kMagic}) {
+    auto pipeline = db->Explain(kQueryD, QueryOptions(strategy));
+    if (!pipeline.ok()) continue;
+    ExecOptions exec_options;
+    exec_options.memoize_correlation =
+        strategy != ExecutionStrategy::kCorrelated;
+    Executor executor(pipeline->graph.get(), db->catalog(), exec_options);
+    auto start = std::chrono::steady_clock::now();
+    auto r = executor.Run();
+    auto end = std::chrono::steady_clock::now();
+    if (!r.ok()) continue;
+    report.Add({"queryD", StrategyName(strategy),
+                executor.stats().TotalWork(),
+                std::chrono::duration<double, std::milli>(end - start).count(),
+                r->num_rows()});
+  }
+}
+
 }  // namespace
 }  // namespace starmagic::bench
 
 int main(int argc, char** argv) {
   starmagic::bench::TracedWarmup();
+  starmagic::bench::EmitBenchJson();
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   benchmark::RunSpecifiedBenchmarks();

@@ -8,6 +8,7 @@
 #include <chrono>
 #include <cstdio>
 
+#include "bench_json.h"
 #include "workloads.h"
 
 namespace starmagic::bench {
@@ -47,6 +48,7 @@ Result<Measured> Measure(Database* db, const std::string& sql,
 
 int Run() {
   BenchObs obs("recursive");
+  BenchJson report("recursive", BenchObs::Smoke() ? 60 : 400);
   Database db;
   if (Status s = LoadEdges(&db, BenchObs::Smoke() ? 60 : 400, 2.5, 2024);
       !s.ok()) {
@@ -84,6 +86,8 @@ int Run() {
                 m->ms, static_cast<long long>(m->work),
                 static_cast<long long>(m->rows),
                 static_cast<long long>(m->iters));
+    report.Add({"bound_source", StrategyName(strategy), m->work, m->ms,
+                m->rows});
     if (strategy == ExecutionStrategy::kOriginal) original = *m;
     if (strategy == ExecutionStrategy::kMagic) magic = *m;
   }
@@ -109,6 +113,10 @@ int Run() {
                  full_magic.status().ToString().c_str());
     return 1;
   }
+  report.Add({"full_closure", "Original", full_orig->work, full_orig->ms,
+              full_orig->rows});
+  report.Add({"full_closure", "EMST", full_magic->work, full_magic->ms,
+              full_magic->rows});
   std::printf("original work=%lld, magic-strategy work=%lld\n",
               static_cast<long long>(full_orig->work),
               static_cast<long long>(full_magic->work));

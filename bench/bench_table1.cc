@@ -18,6 +18,7 @@
 #include <string>
 #include <vector>
 
+#include "bench_json.h"
 #include "workloads.h"
 
 namespace starmagic::bench {
@@ -74,6 +75,7 @@ Result<Measurement> Measure(Database* db, const std::string& sql,
 
 int RunAll(int64_t scale) {
   BenchObs obs("table1");
+  BenchJson report("table1", scale);
   EmpDeptConfig config;
   config.num_departments = 400 * scale / 100;
   config.num_employees = 20000 * scale / 100;
@@ -163,6 +165,12 @@ int RunAll(int64_t scale) {
     bool equal = Table::BagEquals(orig->table, corr->table) &&
                  Table::BagEquals(orig->table, emst->table);
     all_equal = all_equal && equal;
+    report.Add({exp.id, "Original", orig->work, orig->millis,
+                orig->table.num_rows()});
+    report.Add({exp.id, "Correlated", corr->work, corr->millis,
+                corr->table.num_rows()});
+    report.Add({exp.id, "EMST", emst->work, emst->millis,
+                emst->table.num_rows()});
     double base = orig->millis > 0 ? orig->millis : 1e-6;
     std::printf(
         "%-4s %10.2f %10.2f %10.2f   %8.2f / %-9.2f  %lld/%lld/%lld  %s%s\n",

@@ -12,6 +12,7 @@
 #include <string>
 #include <vector>
 
+#include "bench_json.h"
 #include "common/string_util.h"
 #include "workloads.h"
 
@@ -108,6 +109,7 @@ struct QuerySpec {
 
 int Run(int64_t scale) {
   BenchObs obs("tpcd");
+  BenchJson report("tpcd", scale);
   Database db;
   if (Status s = LoadTpcd(&db, scale); !s.ok()) {
     std::fprintf(stderr, "%s\n", s.ToString().c_str());
@@ -162,7 +164,9 @@ int Run(int64_t scale) {
           strategy != ExecutionStrategy::kCorrelated;
       exec_options.tracer = obs.tracer();
       Executor executor(pipeline->graph.get(), db.catalog(), exec_options);
+      auto start = std::chrono::steady_clock::now();
       auto result = executor.Run();
+      auto end = std::chrono::steady_clock::now();
       if (!result.ok()) {
         std::fprintf(stderr, "%s/%s: %s\n", q.id, StrategyName(strategy),
                      result.status().ToString().c_str());
@@ -170,6 +174,10 @@ int Run(int64_t scale) {
       }
       work[i] = executor.stats().TotalWork();
       results[i] = std::move(*result);
+      report.Add({q.id, StrategyName(strategy), work[i],
+                  std::chrono::duration<double, std::milli>(end - start)
+                      .count(),
+                  results[i].num_rows()});
       ++i;
     }
     ok = Table::BagEquals(results[0], results[1]) &&

@@ -6,6 +6,8 @@
 //   .stats on|off                         print executor work counters
 //   .trace on <file.json>|off             record spans, write on off/exit
 //   .metrics                              dump the session metrics registry
+//   .history [n]                          show the last n logged queries
+//   .qerror                               per-box-type Q-error report
 //   .import <table> <file.csv>            load CSV rows into a table
 //   .export <table> <file.csv>            dump a table to CSV
 //   .tables                               list tables and views
@@ -22,6 +24,7 @@
 #include <unistd.h>
 
 #include <cstdio>
+#include <cstdlib>
 #include <iostream>
 #include <sstream>
 #include <string>
@@ -95,6 +98,8 @@ bool RunDotCommand(ShellState* state, const std::string& line) {
     std::printf(
         ".strategy original|correlated|magic\n.explain on|off\n"
         ".stats on|off\n.trace on <file.json>|off\n.metrics\n"
+        ".history [n]        last n logged queries (all when omitted)\n"
+        ".qerror             per-box-type Q-error report + stale stats\n"
         ".import <table> <file.csv>\n"
         ".export <table> <file.csv>\n.tables\n.indexes\n.quit\n");
   } else if (cmd == ".strategy") {
@@ -111,8 +116,16 @@ bool RunDotCommand(ShellState* state, const std::string& line) {
     std::printf("stats = %s\n", state->stats ? "on" : "off");
   } else if (cmd == ".trace") {
     if (a == "on") {
-      state->trace_file = b.empty() ? "TRACE_shell.json" : b;
+      std::string path = b.empty() ? "TRACE_shell.json" : b;
       state->tracer.Clear();
+      // Probe-write now so an unwritable path is reported here rather than
+      // discovered (or silently swallowed) at exit.
+      Status probe = state->tracer.WriteTraceEventJson(path);
+      if (!probe.ok()) {
+        std::printf("error: %s\n", probe.ToString().c_str());
+        return true;
+      }
+      state->trace_file = path;
       state->tracer.SetEnabled(true);
       std::printf("trace = on (%s)\n", state->trace_file.c_str());
     } else if (a == "off") {
@@ -126,6 +139,16 @@ bool RunDotCommand(ShellState* state, const std::string& line) {
   } else if (cmd == ".metrics") {
     std::string dump = state->metrics.ToString();
     std::printf("%s", dump.empty() ? "(no metrics recorded)\n" : dump.c_str());
+  } else if (cmd == ".history") {
+    int n = a.empty() ? -1 : std::atoi(a.c_str());
+    std::printf("%s", state->db.query_log()->Dump(n).c_str());
+  } else if (cmd == ".qerror") {
+    std::printf("%s", QErrorReport(state->metrics).c_str());
+    for (const std::string& name :
+         state->db.catalog()->StaleStatsTables()) {
+      std::printf("warning: statistics for '%s' are stale (run ANALYZE)\n",
+                  name.c_str());
+    }
   } else if (cmd == ".import" || cmd == ".export") {
     Table* table = state->db.catalog()->GetTable(a);
     if (table == nullptr) {

@@ -1,0 +1,179 @@
+#!/usr/bin/env python3
+"""Validate and diff the unified BENCH_<name>.json reports.
+
+Every bench binary emits one BENCH_<name>.json in the shared schema
+(see bench/bench_json.h):
+
+  {"schema_version": 1, "bench": "<name>", "scale": N, "smoke": bool,
+   "samples": [{"workload": ..., "strategy": ..., "total_work": N,
+                "wall_ms": X, "rows": N}, ...]}
+
+Usage:
+  bench_report.py --validate FILE [FILE ...]
+      Schema-check each file; exit 1 on the first malformed one.
+
+  bench_report.py --diff DIR_A DIR_B [--threshold PCT]
+      Compare the BENCH_*.json sets of two result directories keyed by
+      (bench, workload, strategy). `total_work` is deterministic, so any
+      increase beyond --threshold percent (default 0) is a regression and
+      the exit code is 1. Wall times are machine-noisy and only reported.
+"""
+
+import argparse
+import glob
+import json
+import os
+import sys
+
+SCHEMA_VERSION = 1
+
+
+def fail(path, message):
+    print(f"{path}: {message}", file=sys.stderr)
+    return False
+
+
+def check_field(path, obj, field, types, where):
+    if field not in obj:
+        return fail(path, f"missing '{field}' in {where}")
+    if not isinstance(obj[field], types):
+        # bool is an int subclass in Python; reject it for numeric fields.
+        return fail(path, f"'{field}' in {where} has wrong type "
+                          f"({type(obj[field]).__name__})")
+    return True
+
+
+def is_number(v):
+    return isinstance(v, (int, float)) and not isinstance(v, bool)
+
+
+def validate_file(path):
+    try:
+        with open(path, encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        return fail(path, f"unreadable or invalid JSON: {e}")
+    if not isinstance(doc, dict):
+        return fail(path, "top level must be an object")
+    if doc.get("schema_version") != SCHEMA_VERSION:
+        return fail(path, f"schema_version must be {SCHEMA_VERSION}, "
+                          f"got {doc.get('schema_version')!r}")
+    if not check_field(path, doc, "bench", str, "top level"):
+        return False
+    if not isinstance(doc.get("scale"), int) or isinstance(doc.get("scale"), bool):
+        return fail(path, "'scale' must be an integer")
+    if not isinstance(doc.get("smoke"), bool):
+        return fail(path, "'smoke' must be a boolean")
+    samples = doc.get("samples")
+    if not isinstance(samples, list) or not samples:
+        return fail(path, "'samples' must be a non-empty list")
+    for i, s in enumerate(samples):
+        where = f"samples[{i}]"
+        if not isinstance(s, dict):
+            return fail(path, f"{where} must be an object")
+        for field in ("workload", "strategy"):
+            if not check_field(path, s, field, str, where):
+                return False
+        for field in ("total_work", "rows"):
+            if field not in s or not isinstance(s[field], int) \
+                    or isinstance(s[field], bool) or s[field] < 0:
+                return fail(path, f"'{field}' in {where} must be a "
+                                  "non-negative integer")
+        if "wall_ms" not in s or not is_number(s["wall_ms"]) \
+                or s["wall_ms"] < 0:
+            return fail(path, f"'wall_ms' in {where} must be a "
+                              "non-negative number")
+    print(f"{path}: ok ({doc['bench']}, {len(samples)} samples, "
+          f"scale={doc['scale']}, smoke={doc['smoke']})")
+    return True
+
+
+def load_dir(directory):
+    """Returns {(bench, workload, strategy): sample-dict} plus per-bench meta."""
+    samples = {}
+    meta = {}
+    for path in sorted(glob.glob(os.path.join(directory, "BENCH_*.json"))):
+        if not validate_file(path):
+            sys.exit(1)
+        with open(path, encoding="utf-8") as f:
+            doc = json.load(f)
+        meta[doc["bench"]] = {"scale": doc["scale"], "smoke": doc["smoke"]}
+        for s in doc["samples"]:
+            key = (doc["bench"], s["workload"], s["strategy"])
+            if key in samples:
+                print(f"{path}: duplicate sample key {key}", file=sys.stderr)
+                sys.exit(1)
+            samples[key] = s
+    if not samples:
+        print(f"{directory}: no BENCH_*.json files found", file=sys.stderr)
+        sys.exit(1)
+    return samples, meta
+
+
+def diff(dir_a, dir_b, threshold_pct):
+    a, meta_a = load_dir(dir_a)
+    b, meta_b = load_dir(dir_b)
+
+    for bench in sorted(set(meta_a) & set(meta_b)):
+        if meta_a[bench]["scale"] != meta_b[bench]["scale"]:
+            print(f"{bench}: scale mismatch ({meta_a[bench]['scale']} vs "
+                  f"{meta_b[bench]['scale']}); refusing to diff",
+                  file=sys.stderr)
+            sys.exit(1)
+
+    regressions = []
+    improvements = 0
+    unchanged = 0
+    for key in sorted(set(a) & set(b)):
+        work_a, work_b = a[key]["total_work"], b[key]["total_work"]
+        if a[key]["rows"] != b[key]["rows"]:
+            regressions.append((key, work_a, work_b,
+                                f"rows diverged: {a[key]['rows']} vs "
+                                f"{b[key]['rows']}"))
+            continue
+        limit = work_a + work_a * threshold_pct / 100.0
+        if work_b > limit:
+            pct = 100.0 * (work_b - work_a) / work_a if work_a else float("inf")
+            regressions.append((key, work_a, work_b, f"+{pct:.1f}% work"))
+        elif work_b < work_a:
+            improvements += 1
+        else:
+            unchanged += 1
+
+    only_a = sorted(set(a) - set(b))
+    only_b = sorted(set(b) - set(a))
+    for key in only_a:
+        print(f"note: {'/'.join(key)} only in {dir_a}")
+    for key in only_b:
+        print(f"note: {'/'.join(key)} only in {dir_b}")
+
+    print(f"\ncompared {len(set(a) & set(b))} samples: "
+          f"{unchanged} unchanged, {improvements} improved, "
+          f"{len(regressions)} regressed (threshold {threshold_pct}%)")
+    for key, work_a, work_b, why in regressions:
+        print(f"REGRESSION {'/'.join(key)}: {work_a} -> {work_b} ({why})")
+    return 1 if regressions else 0
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--validate", nargs="+", metavar="FILE",
+                        help="schema-check BENCH_*.json files")
+    parser.add_argument("--diff", nargs=2, metavar=("DIR_A", "DIR_B"),
+                        help="diff two result directories")
+    parser.add_argument("--threshold", type=float, default=0.0,
+                        help="allowed total_work increase in percent "
+                             "(default 0: counters are deterministic)")
+    args = parser.parse_args()
+
+    if bool(args.validate) == bool(args.diff):
+        parser.error("exactly one of --validate / --diff is required")
+
+    if args.validate:
+        ok = all([validate_file(p) for p in args.validate])
+        return 0 if ok else 1
+    return diff(args.diff[0], args.diff[1], args.threshold)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -18,19 +18,35 @@ ctest --test-dir "${BUILD}" --output-on-failure -j "$(nproc)"
 
 # Bench smoke: tiny scales (STARMAGIC_BENCH_SMOKE), tracing on. Timing
 # claims are forgiven at smoke scale; correctness claims and sanitizer
-# reports still fail. Traces land in a scratch dir so the repo stays clean.
+# reports still fail. The battery runs TWICE into separate dirs: run A is
+# validated, and diffing A against B must show zero work-counter
+# regressions — the counters are deterministic, so any delta is a bug.
 SMOKE_DIR="$(mktemp -d)"
 trap 'rm -rf "${SMOKE_DIR}"' EXIT
-cd "${SMOKE_DIR}"
 export STARMAGIC_BENCH_SMOKE=1
 export STARMAGIC_TRACE=1
-for bench in table1 index figure1 figure4 heuristic ablation recursive tpcd; do
-  echo "== bench_${bench} (smoke) =="
-  "${BUILD}/bench/bench_${bench}" > "out_${bench}.txt"
-done
-echo "== bench_microbench (smoke) =="
-"${BUILD}/bench/bench_microbench" --benchmark_min_time=0.01 \
-  > out_microbench.txt
+run_smoke_battery() {
+  local dir="$1"
+  mkdir -p "${dir}"
+  cd "${dir}"
+  for bench in table1 index figure1 figure4 heuristic ablation recursive tpcd; do
+    echo "== bench_${bench} (smoke, $(basename "${dir}")) =="
+    "${BUILD}/bench/bench_${bench}" > "out_${bench}.txt"
+  done
+  echo "== bench_microbench (smoke, $(basename "${dir}")) =="
+  "${BUILD}/bench/bench_microbench" --benchmark_min_time=0.01 \
+    > out_microbench.txt
+}
+run_smoke_battery "${SMOKE_DIR}/run_a"
+run_smoke_battery "${SMOKE_DIR}/run_b"
+cd "${SMOKE_DIR}/run_a"
+
+echo "== bench report: schema validation =="
+python3 "${ROOT}/scripts/bench_report.py" --validate BENCH_*.json
+
+echo "== bench report: determinism diff (run A vs run B) =="
+python3 "${ROOT}/scripts/bench_report.py" \
+  --diff "${SMOKE_DIR}/run_a" "${SMOKE_DIR}/run_b"
 
 for trace in TRACE_*.json; do
   python3 - "${trace}" <<'PY'

@@ -31,6 +31,7 @@ Status Catalog::DropTable(const std::string& name) {
     return Status::NotFound(StrCat("table '", name, "' does not exist"));
   }
   stats_.erase(key);
+  versions_.erase(key);
   indexes_.DropTableIndexes(name);
   return Status::OK();
 }
@@ -134,7 +135,9 @@ const SecondaryIndex* Catalog::FindOrderedIndexOn(
 
 void Catalog::MaintainAfterAppend(const std::string& table_name) {
   const Table* table = GetTable(table_name);
-  if (table != nullptr) indexes_.SyncAppend(table_name, *table);
+  if (table == nullptr) return;
+  indexes_.SyncAppend(table_name, *table);
+  BumpVersion(Key(table_name));
 }
 
 Status Catalog::ReindexTable(const std::string& table_name) {
@@ -143,6 +146,7 @@ Status Catalog::ReindexTable(const std::string& table_name) {
     return Status::NotFound(StrCat("table '", table_name, "' does not exist"));
   }
   indexes_.Rebuild(table_name, *table);
+  BumpVersion(Key(table_name));
   return Status::OK();
 }
 
@@ -151,12 +155,17 @@ Status Catalog::AnalyzeTable(const std::string& name) {
   if (table == nullptr) {
     return Status::NotFound(StrCat("table '", name, "' does not exist"));
   }
-  stats_[Key(name)] = Analyze(*table);
+  std::string key = Key(name);
+  stats_[key] = Analyze(*table);
+  MarkAnalyzed(key);
   return Status::OK();
 }
 
 Status Catalog::AnalyzeAll() {
-  for (const auto& [key, table] : tables_) stats_[key] = Analyze(*table);
+  for (const auto& [key, table] : tables_) {
+    stats_[key] = Analyze(*table);
+    MarkAnalyzed(key);
+  }
   return Status::OK();
 }
 
@@ -166,7 +175,34 @@ const TableStats* Catalog::GetStats(const std::string& name) const {
 }
 
 void Catalog::SetStats(const std::string& name, TableStats stats) {
-  stats_[Key(name)] = std::move(stats);
+  std::string key = Key(name);
+  stats_[key] = std::move(stats);
+  MarkAnalyzed(key);
+}
+
+int64_t Catalog::TableVersion(const std::string& name) const {
+  auto it = versions_.find(Key(name));
+  return it == versions_.end() ? 0 : it->second.modified;
+}
+
+int64_t Catalog::LastAnalyzeVersion(const std::string& name) const {
+  auto it = versions_.find(Key(name));
+  return it == versions_.end() ? -1 : it->second.analyzed;
+}
+
+bool Catalog::StatsStale(const std::string& name) const {
+  if (GetTable(name) == nullptr) return false;
+  auto it = versions_.find(Key(name));
+  if (it == versions_.end()) return true;  // never analyzed, never modified
+  return it->second.analyzed != it->second.modified;
+}
+
+std::vector<std::string> Catalog::StaleStatsTables() const {
+  std::vector<std::string> names;
+  for (const auto& [key, table] : tables_) {
+    if (StatsStale(key)) names.push_back(table->name());
+  }
+  return names;
 }
 
 }  // namespace starmagic

@@ -94,15 +94,43 @@ class Catalog {
 
   /// Statistics for `name`; returns nullptr if never analyzed.
   const TableStats* GetStats(const std::string& name) const;
-  /// Overrides statistics (tests / synthetic workloads).
+  /// Overrides statistics (tests / synthetic workloads). Also marks the
+  /// table's current version as analyzed, like a real ANALYZE.
   void SetStats(const std::string& name, TableStats stats);
+
+  // --- statistics freshness ------------------------------------------------
+  /// Monotone per-table modification counter, bumped by every engine write
+  /// that goes through the catalog (MaintainAfterAppend after INSERT,
+  /// ReindexTable after UPDATE/DELETE). 0 for a fresh table. Code mutating
+  /// a Table directly bypasses it, same as the index-maintenance hooks.
+  int64_t TableVersion(const std::string& name) const;
+  /// The TableVersion recorded by the last Analyze of the table, or -1
+  /// when the table was never analyzed.
+  int64_t LastAnalyzeVersion(const std::string& name) const;
+  /// True when the table exists and was modified since its last Analyze
+  /// (or was never analyzed at all) — its optimizer statistics are stale.
+  bool StatsStale(const std::string& name) const;
+  /// Name-sorted list of tables whose statistics are stale.
+  std::vector<std::string> StaleStatsTables() const;
 
  private:
   static std::string Key(const std::string& name);
 
+  void BumpVersion(const std::string& key) { ++versions_[key].modified; }
+  void MarkAnalyzed(const std::string& key) {
+    VersionInfo& v = versions_[key];
+    v.analyzed = v.modified;
+  }
+
+  struct VersionInfo {
+    int64_t modified = 0;
+    int64_t analyzed = -1;  ///< -1 = never analyzed
+  };
+
   std::map<std::string, std::unique_ptr<Table>> tables_;
   std::map<std::string, ViewDefinition> views_;
   std::map<std::string, TableStats> stats_;
+  std::map<std::string, VersionInfo> versions_;
   IndexManager indexes_;
 };
 

@@ -1,6 +1,9 @@
 #include "engine/database.h"
 
+#include <algorithm>
+#include <chrono>
 #include <cstdio>
+#include <set>
 
 #include "common/string_util.h"
 #include "exec/eval.h"
@@ -285,6 +288,64 @@ void RecordExecMetrics(MetricsRegistry* metrics, const ExecStats& stats,
       ->Observe(static_cast<double>(result_rows));
 }
 
+// Histogram suffix for per-box-type Q-error accounting. Magic-role boxes
+// are bucketed together regardless of kind: their estimates come from the
+// EMST-specific magic-cardinality path, which is what we want to watch.
+const char* QErrorLabel(const Box& box) {
+  if (box.IsMagicRole()) return "magic";
+  switch (box.kind()) {
+    case BoxKind::kBaseTable: return "basetable";
+    case BoxKind::kSelect: return "select";
+    case BoxKind::kGroupBy: return "groupby";
+    case BoxKind::kSetOp: return "setop";
+    case BoxKind::kCustom: return "custom";
+  }
+  return "unknown";
+}
+
+// Folds EXPLAIN ANALYZE's per-box estimated-vs-actual row counts into
+// per-box-type Q-error histograms ("qerror.select", "qerror.magic", ...)
+// and warns about base tables whose statistics are stale. Warning lines
+// are appended to *warnings for the report.
+void RecordQErrors(const QueryGraph& graph, const Catalog* catalog,
+                   const std::map<int, BoxExecStats>& box_stats,
+                   MetricsRegistry* metrics, Tracer* tracer,
+                   std::string* warnings) {
+  CardinalityEstimator estimator(const_cast<QueryGraph*>(&graph), catalog);
+  for (const Box* box : graph.boxes()) {
+    auto it = box_stats.find(box->id());
+    if (it == box_stats.end()) continue;  // never evaluated / base table
+    const BoxExecStats& b = it->second;
+    // Estimates are per evaluation; a correlated box accumulates rows_out
+    // across every binding, so compare against the per-evaluation mean.
+    double actual = static_cast<double>(b.rows_out) /
+                    static_cast<double>(std::max<int64_t>(1, b.evaluations));
+    double estimated = estimator.Estimate(box).rows;
+    if (metrics != nullptr) {
+      metrics->histogram(StrCat("qerror.", QErrorLabel(*box)))
+          ->Observe(QError(estimated, actual));
+    }
+  }
+
+  std::set<std::string> stale;
+  for (const Box* box : graph.boxes()) {
+    if (box->kind() != BoxKind::kBaseTable) continue;
+    if (catalog->StatsStale(box->table_name())) stale.insert(box->table_name());
+  }
+  for (const std::string& table : stale) {
+    if (metrics != nullptr) metrics->counter("optimizer.stale_stats")->Add(1);
+    if (tracer != nullptr && tracer->enabled()) {
+      tracer->AddEvent("stats.stale", "optimizer", {{"table", table}});
+    }
+    if (warnings != nullptr) {
+      *warnings += StrCat("warning: statistics for '", table,
+                          "' are stale (version ",
+                          catalog->TableVersion(table), ", last ANALYZE ",
+                          catalog->LastAnalyzeVersion(table), ")\n");
+    }
+  }
+}
+
 }  // namespace
 
 Result<QueryResult> Database::RunPipeline(PipelineResult pipeline,
@@ -303,15 +364,23 @@ Result<QueryResult> Database::RunPipeline(PipelineResult pipeline,
   result.exec_stats = executor.stats();
   result.cost_no_emst = pipeline.cost_no_emst;
   result.cost_with_emst = pipeline.cost_with_emst;
+  result.emst_applied = pipeline.emst_applied;
   result.emst_chosen = pipeline.emst_chosen;
   result.rewrite_applications = pipeline.rewrite_applications;
   result.rule_fires = std::move(pipeline.rule_fires);
   result.box_stats = executor.box_stats();
+  result.result_rows = result.table.num_rows();
   if (options.capture_plan_report) {
     result.plan_report = PrintGraph(*pipeline.graph);
   }
-  RecordExecMetrics(options.metrics, result.exec_stats,
-                    result.table.num_rows());
+  RecordExecMetrics(options.metrics, result.exec_stats, result.result_rows);
+  if (result.emst_applied) {
+    result.decision_audit = AuditPlanDecision(
+        result.cost_no_emst, result.cost_with_emst, result.emst_chosen,
+        result.exec_stats.TotalWork(), options.mispredict_ratio,
+        options.metrics, options.tracer);
+    result.decision_audited = true;
+  }
   return result;
 }
 
@@ -349,9 +418,11 @@ Result<QueryResult> Database::RunExplain(const AstExplain& ex,
   QueryResult result;
   result.cost_no_emst = pipeline.cost_no_emst;
   result.cost_with_emst = pipeline.cost_with_emst;
+  result.emst_applied = pipeline.emst_applied;
   result.emst_chosen = pipeline.emst_chosen;
   result.rewrite_applications = pipeline.rewrite_applications;
 
+  std::string warnings;
   if (ex.analyze) {
     ExecOptions exec_options;
     exec_options.memoize_correlation =
@@ -362,8 +433,17 @@ Result<QueryResult> Database::RunExplain(const AstExplain& ex,
     SM_ASSIGN_OR_RETURN(Table discarded, executor.Run());
     result.exec_stats = executor.stats();
     result.box_stats = executor.box_stats();
-    RecordExecMetrics(options.metrics, result.exec_stats,
-                      discarded.num_rows());
+    result.result_rows = discarded.num_rows();
+    RecordExecMetrics(options.metrics, result.exec_stats, result.result_rows);
+    RecordQErrors(*pipeline.graph, &catalog_, result.box_stats,
+                  options.metrics, options.tracer, &warnings);
+    if (result.emst_applied) {
+      result.decision_audit = AuditPlanDecision(
+          result.cost_no_emst, result.cost_with_emst, result.emst_chosen,
+          result.exec_stats.TotalWork(), options.mispredict_ratio,
+          options.metrics, options.tracer);
+      result.decision_audited = true;
+    }
   }
 
   std::string report =
@@ -395,6 +475,11 @@ Result<QueryResult> Database::RunExplain(const AstExplain& ex,
       });
   if (ex.analyze) {
     report += StrCat("exec: ", result.exec_stats.ToString(), "\n");
+    if (result.decision_audited) {
+      report += StrCat("decision audit: ", result.decision_audit.ToString(),
+                       "\n");
+    }
+    report += warnings;
   }
   result.analyze_report = report;
   result.rule_fires = std::move(pipeline.rule_fires);
@@ -405,11 +490,14 @@ Result<QueryResult> Database::RunExplain(const AstExplain& ex,
   return result;
 }
 
-Result<QueryResult> Database::Query(const std::string& sql,
-                                    const QueryOptions& options) {
+Result<QueryResult> Database::QueryInternal(const std::string& sql,
+                                            const QueryOptions& options,
+                                            std::string* kind) {
   SM_ASSIGN_OR_RETURN(std::unique_ptr<AstStatement> stmt, ParseStatement(sql));
   if (stmt->kind == StatementKind::kExplain) {
-    return RunExplain(static_cast<const AstExplain&>(*stmt), options);
+    const auto& ex = static_cast<const AstExplain&>(*stmt);
+    *kind = ex.analyze ? "explain-analyze" : "explain";
+    return RunExplain(ex, options);
   }
   if (stmt->kind != StatementKind::kSelect) {
     return Status::InvalidArgument(
@@ -420,6 +508,37 @@ Result<QueryResult> Database::Query(const std::string& sql,
   SM_ASSIGN_OR_RETURN(PipelineResult pipeline,
                       OptimizeBlob(*select.blob, options));
   return RunPipeline(std::move(pipeline), options, /*collect_box_stats=*/false);
+}
+
+Result<QueryResult> Database::Query(const std::string& sql,
+                                    const QueryOptions& options) {
+  auto start = std::chrono::steady_clock::now();
+  std::string kind = "select";
+  Result<QueryResult> result = QueryInternal(sql, options, &kind);
+  auto end = std::chrono::steady_clock::now();
+
+  QueryLogEntry entry;
+  entry.sql = sql;
+  entry.kind = kind;
+  entry.strategy = StrategyName(options.strategy);
+  entry.wall_ms =
+      std::chrono::duration<double, std::milli>(end - start).count();
+  if (result.ok()) {
+    const QueryResult& r = result.value();
+    entry.cost_no_emst = r.cost_no_emst;
+    entry.cost_with_emst = r.cost_with_emst;
+    entry.emst_applied = r.emst_applied;
+    entry.emst_chosen = r.emst_chosen;
+    entry.total_work = r.exec_stats.TotalWork();
+    entry.rows = r.result_rows;
+    for (const RuleFireStats& f : r.rule_fires) {
+      if (f.fires > 0) entry.rule_fires.push_back({f.phase, f.rule, f.fires});
+    }
+  } else {
+    entry.status = result.status().ToString();
+  }
+  query_log_.Record(std::move(entry));
+  return result;
 }
 
 }  // namespace starmagic

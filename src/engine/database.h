@@ -6,6 +6,8 @@
 
 #include "catalog/catalog.h"
 #include "exec/executor.h"
+#include "obs/decision_audit.h"
+#include "obs/query_log.h"
 #include "optimizer/pipeline.h"
 
 namespace starmagic {
@@ -23,6 +25,10 @@ struct QueryOptions {
   /// Counter/histogram sink ("query.executions", "rewrite.fires.<rule>",
   /// "exec.rows_produced", ...). May be null.
   MetricsRegistry* metrics = nullptr;
+  /// §3.2 decision audit: the chosen plan's estimated cost is compared to
+  /// the actual TotalWork after execution; past this Q-error ratio the run
+  /// counts as a mispredict (`optimizer.mispredict`, warning span).
+  double mispredict_ratio = 10.0;
 
   QueryOptions() = default;
   explicit QueryOptions(ExecutionStrategy s) : strategy(s) {}
@@ -35,8 +41,16 @@ struct QueryResult {
   ExecStats exec_stats;
   double cost_no_emst = 0;
   double cost_with_emst = 0;
+  bool emst_applied = false;  ///< the EMST pipeline ran (magic strategy)
   bool emst_chosen = false;
   int rewrite_applications = 0;
+  /// Rows the query produced. For EXPLAIN ANALYZE this counts the rows of
+  /// the analyzed query, while `table` holds the report lines.
+  int64_t result_rows = 0;
+  /// §3.2 decision audit of this execution; meaningful when
+  /// `decision_audited` (EMST pipeline ran and the query executed).
+  DecisionAudit decision_audit;
+  bool decision_audited = false;
   std::string plan_report;  ///< PrintGraph of the executed graph (optional)
   /// Per-phase per-rule rewrite fire counts (see RuleFireTable).
   std::vector<RuleFireStats> rule_fires;
@@ -92,6 +106,11 @@ class Database {
   Catalog* catalog() { return &catalog_; }
   const Catalog* catalog() const { return &catalog_; }
 
+  /// Ring buffer of the most recent Query() calls (SQL, strategy, C1/C2,
+  /// actual work/rows/wall time, status, phase-tagged rule fires).
+  QueryLog* query_log() { return &query_log_; }
+  const QueryLog* query_log() const { return &query_log_; }
+
  private:
   Status ExecuteStatement(const AstStatement& stmt);
 
@@ -109,7 +128,13 @@ class Database {
   Result<QueryResult> RunExplain(const AstExplain& ex,
                                  const QueryOptions& options);
 
+  /// Query() minus the query-log bookkeeping; sets *kind for the log.
+  Result<QueryResult> QueryInternal(const std::string& sql,
+                                    const QueryOptions& options,
+                                    std::string* kind);
+
   Catalog catalog_;
+  QueryLog query_log_;
 };
 
 }  // namespace starmagic

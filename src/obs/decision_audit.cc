@@ -1,0 +1,58 @@
+#include "obs/decision_audit.h"
+
+#include <algorithm>
+
+#include "common/string_util.h"
+
+namespace starmagic {
+
+std::string DecisionAudit::ToString() const {
+  return StrCat("est_cost=", FormatDouble(estimated_cost),
+                " actual_work=", actual_work,
+                " qerror=", FormatDouble(qerror),
+                " verdict=", mispredicted ? "MISPREDICT" : "ok");
+}
+
+double QError(double estimated, double actual) {
+  double e = std::max(estimated, 1.0);
+  double a = std::max(actual, 1.0);
+  return std::max(e / a, a / e);
+}
+
+DecisionAudit AuditPlanDecision(double cost_no_emst, double cost_with_emst,
+                                bool emst_chosen, int64_t actual_work,
+                                double mispredict_ratio,
+                                MetricsRegistry* metrics, Tracer* tracer) {
+  DecisionAudit audit;
+  audit.emst_chosen = emst_chosen;
+  audit.estimated_cost = emst_chosen ? cost_with_emst : cost_no_emst;
+  audit.actual_work = actual_work;
+  audit.qerror = QError(audit.estimated_cost, static_cast<double>(actual_work));
+  audit.mispredicted = audit.qerror > mispredict_ratio;
+
+  if (metrics != nullptr) {
+    metrics
+        ->counter(emst_chosen ? "optimizer.decisions.emst"
+                              : "optimizer.decisions.no_emst")
+        ->Add(1);
+    metrics->histogram("qerror.plan_cost")->Observe(audit.qerror);
+    if (audit.mispredicted) metrics->counter("optimizer.mispredict")->Add(1);
+  }
+  if (tracer != nullptr && tracer->enabled()) {
+    SpanScope span(tracer, "decision-audit", "optimizer");
+    span.SetAttribute("emst_chosen", audit.emst_chosen);
+    span.SetAttribute("estimated_cost", audit.estimated_cost);
+    span.SetAttribute("actual_work", audit.actual_work);
+    span.SetAttribute("qerror", audit.qerror);
+    if (audit.mispredicted) {
+      span.SetAttribute("warning", true);
+      tracer->AddEvent("optimizer.mispredict", "optimizer",
+                       {{"estimated_cost", audit.estimated_cost},
+                        {"actual_work", audit.actual_work},
+                        {"qerror", audit.qerror}});
+    }
+  }
+  return audit;
+}
+
+}  // namespace starmagic

@@ -1,5 +1,6 @@
 #include "obs/metrics.h"
 
+#include <algorithm>
 #include <cmath>
 
 #include "common/string_util.h"
@@ -19,10 +20,30 @@ void Histogram::Observe(double value) {
   ++buckets_[static_cast<size_t>(bucket)];
 }
 
+double Histogram::Percentile(double p) const {
+  if (count_ == 0) return 0;
+  p = std::max(0.0, std::min(100.0, p));
+  int64_t target =
+      std::max<int64_t>(1, static_cast<int64_t>(std::ceil(p / 100.0 * count_)));
+  int64_t cumulative = 0;
+  for (int bucket = 0; bucket < kNumBuckets; ++bucket) {
+    cumulative += buckets_[static_cast<size_t>(bucket)];
+    if (cumulative >= target) {
+      // Bucket 0 is (-inf, 1); bucket k >= 1 is [2^(k-1), 2^k).
+      double upper = bucket == 0 ? 1.0 : std::ldexp(1.0, bucket);
+      return std::max(min(), std::min(max(), upper));
+    }
+  }
+  return max();
+}
+
 std::string Histogram::ToString() const {
   return StrCat("count=", count_, " sum=", FormatDouble(sum_),
                 " min=", FormatDouble(min()), " max=", FormatDouble(max()),
-                " mean=", FormatDouble(mean()));
+                " mean=", FormatDouble(mean()),
+                " p50=", FormatDouble(Percentile(50)),
+                " p95=", FormatDouble(Percentile(95)),
+                " p99=", FormatDouble(Percentile(99)));
 }
 
 int64_t MetricsRegistry::CounterValue(const std::string& name) const {
@@ -43,6 +64,16 @@ std::string MetricsRegistry::ToString() const {
   for (const auto& [name, histogram] : histograms_) {
     out += StrCat(name, " ", histogram.ToString(), "\n");
   }
+  return out;
+}
+
+std::string QErrorReport(const MetricsRegistry& metrics) {
+  std::string out;
+  for (const auto& [name, histogram] : metrics.histograms()) {
+    if (name.rfind("qerror.", 0) != 0) continue;
+    out += StrCat(name, " ", histogram.ToString(), "\n");
+  }
+  if (out.empty()) out = "(no q-error data recorded)\n";
   return out;
 }
 

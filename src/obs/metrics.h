@@ -35,7 +35,15 @@ class Histogram {
   double mean() const { return count_ == 0 ? 0 : sum_ / count_; }
   const std::vector<int64_t>& buckets() const { return buckets_; }
 
-  /// "count=N sum=S min=m max=M mean=A".
+  /// The p-th percentile (p in [0, 100]) derived from the power-of-two
+  /// buckets: the upper edge of the first bucket whose cumulative count
+  /// reaches ceil(p/100 * count), clamped to [min, max] so single-value
+  /// and boundary observations report exactly. 0 when empty. Bucket
+  /// resolution bounds the error at 2x, which is enough to watch Q-error
+  /// drift. Deterministic for deterministic inputs.
+  double Percentile(double p) const;
+
+  /// "count=N sum=S min=m max=M mean=A p50=x p95=y p99=z".
   std::string ToString() const;
 
  private:
@@ -73,6 +81,12 @@ class MetricsRegistry {
   std::map<std::string, Counter> counters_;
   std::map<std::string, Histogram> histograms_;
 };
+
+/// Multi-line report of every `qerror.*` histogram in `metrics` (per-box-
+/// type Q-error distributions plus the plan-cost audit): one line per
+/// histogram with count/mean/max and the bucket-derived percentiles.
+/// "(no q-error data recorded)" when nothing matches.
+std::string QErrorReport(const MetricsRegistry& metrics);
 
 }  // namespace starmagic
 

@@ -1,0 +1,79 @@
+#ifndef STARMAGIC_OBS_QUERY_LOG_H_
+#define STARMAGIC_OBS_QUERY_LOG_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace starmagic {
+
+/// One phase-tagged rewrite-rule fire count in a query-log entry. A
+/// deliberately obs-local mirror of the optimizer's RuleFireStats so the
+/// query log does not depend on optimizer headers.
+struct QueryLogRuleFire {
+  std::string phase;
+  std::string rule;
+  int64_t fires = 0;
+};
+
+/// Everything the engine remembers about one Query() call: the SQL text,
+/// the §3.2 decision inputs (C1/C2, chosen plan), and what actually
+/// happened at runtime (work, wall time, rows, status).
+struct QueryLogEntry {
+  int64_t id = 0;  ///< monotone sequence number, assigned by QueryLog
+  std::string sql;
+  std::string kind;      ///< "select" | "explain" | "explain-analyze"
+  std::string strategy;  ///< StrategyName of the requested strategy
+  std::string status = "ok";  ///< "ok" or the error Status text
+  double cost_no_emst = 0;    ///< C1: estimated cost without EMST
+  double cost_with_emst = 0;  ///< C2: estimated cost with EMST (magic only)
+  bool emst_applied = false;  ///< the EMST pipeline ran
+  bool emst_chosen = false;   ///< the transformed plan won the comparison
+  int64_t total_work = 0;     ///< ExecStats::TotalWork of the execution
+  int64_t rows = 0;           ///< rows the query produced
+  double wall_ms = 0;         ///< end-to-end wall time of the Query() call
+  std::vector<QueryLogRuleFire> rule_fires;  ///< phase-tagged, fires > 0 only
+
+  /// One-entry rendering (multi-line, newline-terminated).
+  std::string ToString() const;
+};
+
+/// A fixed-capacity ring buffer of QueryLogEntry, owned by Database: the
+/// newest `capacity` queries survive, older ones are overwritten. Entry
+/// ids keep counting across evictions, so gaps reveal discarded history.
+class QueryLog {
+ public:
+  static constexpr size_t kDefaultCapacity = 128;
+
+  explicit QueryLog(size_t capacity = kDefaultCapacity);
+
+  /// Appends `entry` (its `id` field is assigned here), evicting the
+  /// oldest entry when full.
+  void Record(QueryLogEntry entry);
+
+  size_t size() const { return ring_.size(); }
+  size_t capacity() const { return capacity_; }
+  /// Total entries ever recorded (>= size() once the ring wraps).
+  int64_t total_recorded() const { return next_id_ - 1; }
+
+  /// Entries oldest-first. Pointers are invalidated by the next Record.
+  std::vector<const QueryLogEntry*> Entries() const;
+  /// The most recent entry, or nullptr when empty.
+  const QueryLogEntry* Latest() const;
+
+  /// Text dump of the most recent `n` entries, oldest of those first
+  /// (everything retained when n <= 0).
+  std::string Dump(int n = -1) const;
+
+  void Clear();
+
+ private:
+  size_t capacity_;
+  size_t head_ = 0;  ///< slot the next Record overwrites once full
+  int64_t next_id_ = 1;
+  std::vector<QueryLogEntry> ring_;
+};
+
+}  // namespace starmagic
+
+#endif  // STARMAGIC_OBS_QUERY_LOG_H_

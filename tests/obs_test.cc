@@ -9,7 +9,9 @@
 #include <vector>
 
 #include "engine/database.h"
+#include "obs/decision_audit.h"
 #include "obs/metrics.h"
+#include "obs/query_log.h"
 #include "obs/trace.h"
 #include "rewrite/constant_folding.h"
 #include "rewrite/engine.h"
@@ -204,6 +206,72 @@ TEST(MetricsTest, CountersAndHistograms) {
   EXPECT_EQ(registry.CounterValue("exec.cache_hits"), 0);
 }
 
+TEST(MetricsTest, PercentilesFromPowerOfTwoBuckets) {
+  Histogram h;
+  // Empty histogram: percentiles are 0, not garbage.
+  EXPECT_DOUBLE_EQ(h.Percentile(50), 0);
+  EXPECT_DOUBLE_EQ(h.Percentile(99), 0);
+
+  // A single observation of exactly 1 lands in bucket [1, 2); clamping to
+  // [min, max] reports exactly 1 at every percentile.
+  h.Observe(1);
+  EXPECT_DOUBLE_EQ(h.Percentile(50), 1);
+  EXPECT_DOUBLE_EQ(h.Percentile(99), 1);
+}
+
+TEST(MetricsTest, PercentileAtExactPowerOfTwo) {
+  // 2^k sits on a bucket boundary: it falls in [2^k, 2^(k+1)), whose upper
+  // edge 2^(k+1) is clamped down to max = 2^k — the report stays exact.
+  for (double v : {2.0, 1024.0, 65536.0}) {
+    Histogram h;
+    h.Observe(v);
+    EXPECT_DOUBLE_EQ(h.Percentile(50), v) << v;
+    EXPECT_DOUBLE_EQ(h.Percentile(95), v) << v;
+    EXPECT_DOUBLE_EQ(h.Percentile(99), v) << v;
+  }
+}
+
+TEST(MetricsTest, PercentileWithNegativeAndZeroObservations) {
+  Histogram h;
+  h.Observe(-5);
+  h.Observe(0);
+  // Both land in the underflow bucket (-inf, 1); its upper edge 1 is
+  // clamped to max = 0.
+  EXPECT_DOUBLE_EQ(h.Percentile(50), 0);
+  EXPECT_DOUBLE_EQ(h.Percentile(99), 0);
+  // min-clamping: p0-ish percentiles cannot report below the observed min.
+  EXPECT_GE(h.Percentile(1), h.min());
+}
+
+TEST(MetricsTest, PercentileOrderingAndToString) {
+  Histogram h;
+  for (int i = 1; i <= 100; ++i) h.Observe(i);
+  double p50 = h.Percentile(50);
+  double p95 = h.Percentile(95);
+  double p99 = h.Percentile(99);
+  EXPECT_LE(p50, p95);
+  EXPECT_LE(p95, p99);
+  // p50 of 1..100: the 50th observation is 50, inside bucket [32, 64).
+  EXPECT_DOUBLE_EQ(p50, 64);
+  EXPECT_DOUBLE_EQ(p99, 100);  // clamped to max
+
+  std::string s = h.ToString();
+  EXPECT_NE(s.find("p50="), std::string::npos);
+  EXPECT_NE(s.find("p95="), std::string::npos);
+  EXPECT_NE(s.find("p99="), std::string::npos);
+}
+
+TEST(MetricsTest, QErrorReportFiltersQErrorHistograms) {
+  MetricsRegistry registry;
+  EXPECT_NE(QErrorReport(registry).find("no q-error data"),
+            std::string::npos);
+  registry.histogram("qerror.select")->Observe(2);
+  registry.histogram("exec.rows_per_query")->Observe(7);
+  std::string report = QErrorReport(registry);
+  EXPECT_NE(report.find("qerror.select"), std::string::npos);
+  EXPECT_EQ(report.find("exec.rows_per_query"), std::string::npos);
+}
+
 TEST(MetricsTest, ToStringIsNameSorted) {
   MetricsRegistry registry;
   registry.counter("zebra")->Add(1);
@@ -224,6 +292,140 @@ TEST(RewriteEngineTest, SetEnabledReportsUnknownRules) {
   EXPECT_FALSE(engine.SetEnabled("no-such-rule", true));
   ASSERT_FALSE(tracer.events().empty());
   EXPECT_EQ(tracer.events().back().name, "rewrite.unknown_rule");
+}
+
+TEST(QueryLogTest, RingEvictsOldestAndIdsKeepCounting) {
+  QueryLog log(3);
+  EXPECT_EQ(log.capacity(), 3u);
+  EXPECT_EQ(log.Latest(), nullptr);
+  EXPECT_NE(log.Dump().find("query log empty"), std::string::npos);
+
+  for (int i = 0; i < 5; ++i) {
+    QueryLogEntry e;
+    e.sql = "SELECT " + std::to_string(i);
+    e.kind = "select";
+    e.strategy = "EMST";
+    log.Record(std::move(e));
+  }
+  EXPECT_EQ(log.size(), 3u);
+  EXPECT_EQ(log.total_recorded(), 5);
+
+  // Oldest-first iteration holds the three newest entries; ids kept
+  // counting across the two evictions.
+  auto entries = log.Entries();
+  ASSERT_EQ(entries.size(), 3u);
+  EXPECT_EQ(entries[0]->id, 3);
+  EXPECT_EQ(entries[1]->id, 4);
+  EXPECT_EQ(entries[2]->id, 5);
+  EXPECT_EQ(entries[0]->sql, "SELECT 2");
+  ASSERT_NE(log.Latest(), nullptr);
+  EXPECT_EQ(log.Latest()->id, 5);
+
+  // Dump(n) keeps the most recent n, rendered oldest-first.
+  std::string dump = log.Dump(2);
+  EXPECT_EQ(dump.find("SELECT 2"), std::string::npos);
+  EXPECT_LT(dump.find("SELECT 3"), dump.find("SELECT 4"));
+
+  log.Clear();
+  EXPECT_EQ(log.size(), 0u);
+  // Ids are not reset by Clear: history stays monotone.
+  QueryLogEntry e;
+  e.sql = "SELECT 9";
+  log.Record(std::move(e));
+  EXPECT_EQ(log.Latest()->id, 6);
+}
+
+TEST(QueryLogTest, EntryToStringRendersDecisionAndErrors) {
+  QueryLogEntry e;
+  e.id = 7;
+  e.sql = "SELECT *\nFROM t";
+  e.kind = "select";
+  e.strategy = "EMST";
+  e.cost_no_emst = 100;
+  e.cost_with_emst = 10;
+  e.emst_applied = true;
+  e.emst_chosen = true;
+  e.rows = 3;
+  e.total_work = 42;
+  e.rule_fires.push_back({"phase2", "magic", 2});
+  std::string s = e.ToString();
+  EXPECT_NE(s.find("#7 [select/EMST] ok"), std::string::npos);
+  EXPECT_NE(s.find("C1=100 C2=10 chosen=emst"), std::string::npos);
+  EXPECT_NE(s.find("SELECT * FROM t"), std::string::npos);  // newline folded
+  EXPECT_NE(s.find("phase2/magic=2"), std::string::npos);
+
+  QueryLogEntry err;
+  err.id = 8;
+  err.kind = "select";
+  err.strategy = "Original";
+  err.sql = "SELECT nonsense";
+  err.status = "ParseError: boom";
+  std::string es = err.ToString();
+  EXPECT_NE(es.find("ERROR"), std::string::npos);
+  EXPECT_NE(es.find("ParseError: boom"), std::string::npos);
+}
+
+TEST(DecisionAuditTest, QErrorClampsBothSides) {
+  EXPECT_DOUBLE_EQ(QError(10, 10), 1);
+  EXPECT_DOUBLE_EQ(QError(10, 100), 10);
+  EXPECT_DOUBLE_EQ(QError(100, 10), 10);
+  // Zero/negative inputs clamp to 1 instead of dividing by zero.
+  EXPECT_DOUBLE_EQ(QError(0, 8), 8);
+  EXPECT_DOUBLE_EQ(QError(8, 0), 8);
+  EXPECT_DOUBLE_EQ(QError(0, 0), 1);
+}
+
+TEST(DecisionAuditTest, CountersSplitByChoiceAndMispredict) {
+  MetricsRegistry metrics;
+  // Accurate estimate, EMST chosen: decisions.emst only.
+  DecisionAudit a = AuditPlanDecision(/*cost_no_emst=*/100,
+                                      /*cost_with_emst=*/10,
+                                      /*emst_chosen=*/true,
+                                      /*actual_work=*/12,
+                                      /*mispredict_ratio=*/10, &metrics,
+                                      nullptr);
+  EXPECT_TRUE(a.emst_chosen);
+  EXPECT_DOUBLE_EQ(a.estimated_cost, 10);  // the chosen plan's estimate
+  EXPECT_FALSE(a.mispredicted);
+  EXPECT_EQ(metrics.CounterValue("optimizer.decisions.emst"), 1);
+  EXPECT_EQ(metrics.CounterValue("optimizer.decisions.no_emst"), 0);
+  EXPECT_EQ(metrics.CounterValue("optimizer.mispredict"), 0);
+
+  // No-EMST chosen with a wildly wrong estimate: mispredict fires.
+  DecisionAudit b = AuditPlanDecision(100, 500, /*emst_chosen=*/false,
+                                      /*actual_work=*/100000,
+                                      /*mispredict_ratio=*/10, &metrics,
+                                      nullptr);
+  EXPECT_FALSE(b.emst_chosen);
+  EXPECT_DOUBLE_EQ(b.estimated_cost, 100);
+  EXPECT_TRUE(b.mispredicted);
+  EXPECT_NE(b.ToString().find("MISPREDICT"), std::string::npos);
+  EXPECT_EQ(metrics.CounterValue("optimizer.decisions.no_emst"), 1);
+  EXPECT_EQ(metrics.CounterValue("optimizer.mispredict"), 1);
+  EXPECT_EQ(metrics.histograms().at("qerror.plan_cost").count(), 2);
+
+  // The same wrong estimate under a huge tolerance is not a mispredict.
+  DecisionAudit c = AuditPlanDecision(100, 500, false, 100000,
+                                      /*mispredict_ratio=*/1e6, &metrics,
+                                      nullptr);
+  EXPECT_FALSE(c.mispredicted);
+  EXPECT_EQ(metrics.CounterValue("optimizer.mispredict"), 1);  // unchanged
+}
+
+TEST(DecisionAuditTest, MispredictEmitsWarningSpan) {
+  Tracer tracer(true);
+  AuditPlanDecision(100, 10, true, /*actual_work=*/1000000,
+                    /*mispredict_ratio=*/10, nullptr, &tracer);
+  ASSERT_FALSE(tracer.spans().empty());
+  const SpanRecord& span = tracer.spans().back();
+  EXPECT_EQ(span.name, "decision-audit");
+  const TraceValue* warning = span.FindAttribute("warning");
+  ASSERT_NE(warning, nullptr);
+  bool saw_event = false;
+  for (const auto& e : tracer.events()) {
+    if (e.name == "optimizer.mispredict") saw_event = true;
+  }
+  EXPECT_TRUE(saw_event);
 }
 
 // End-to-end fixture: the paper's employee/department schema with an
@@ -361,6 +563,158 @@ TEST_F(ObsQueryTest, CountersAreDeterministicAcrossIdenticalRuns) {
   EXPECT_EQ(dumps[0], dumps[1]);
   EXPECT_FALSE(dumps[0].empty());
   EXPECT_NE(dumps[0].find("query.executions 2"), std::string::npos);
+}
+
+// The tentpole acceptance path: one EXPLAIN ANALYZE of a Table-1-style
+// query populates (1) the query log, (2) the §3.2 decision-audit
+// counters, and (3) per-box-type Q-error histograms.
+TEST_F(ObsQueryTest, ExplainAnalyzePopulatesLogAuditAndQError) {
+  Database db;
+  Populate(&db);
+  MetricsRegistry metrics;
+  QueryOptions options(ExecutionStrategy::kMagic);
+  options.metrics = &metrics;
+  auto result = db.Query("EXPLAIN ANALYZE " + query_, options);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+
+  // (1) Query log: the call was recorded with kind, strategy, and the
+  // C1/C2 decision inputs.
+  ASSERT_EQ(db.query_log()->size(), 1u);
+  const QueryLogEntry* entry = db.query_log()->Latest();
+  ASSERT_NE(entry, nullptr);
+  EXPECT_EQ(entry->kind, "explain-analyze");
+  EXPECT_EQ(entry->strategy, "EMST");
+  EXPECT_EQ(entry->status, "ok");
+  EXPECT_TRUE(entry->emst_applied);
+  EXPECT_GT(entry->cost_no_emst, 0);
+  EXPECT_GT(entry->total_work, 0);
+  EXPECT_EQ(entry->rows, result->result_rows);
+  EXPECT_FALSE(entry->rule_fires.empty());
+  for (const QueryLogRuleFire& f : entry->rule_fires) EXPECT_GT(f.fires, 0);
+
+  // (2) Decision audit: exactly one decision was counted, on the side the
+  // optimizer chose, and the audit is embedded in result + report.
+  ASSERT_TRUE(result->decision_audited);
+  int64_t emst = metrics.CounterValue("optimizer.decisions.emst");
+  int64_t no_emst = metrics.CounterValue("optimizer.decisions.no_emst");
+  EXPECT_EQ(emst + no_emst, 1);
+  EXPECT_EQ(emst == 1, result->emst_chosen);
+  EXPECT_NE(result->analyze_report.find("decision audit:"),
+            std::string::npos);
+
+  // (3) Q-error accounting: per-box-type histograms are non-empty, and the
+  // magic boxes of the transformed plan got their own bucket.
+  int64_t qerror_observations = 0;
+  bool saw_magic = false;
+  for (const auto& [name, histogram] : metrics.histograms()) {
+    if (name.rfind("qerror.", 0) != 0) continue;
+    qerror_observations += histogram.count();
+    if (name == "qerror.magic") saw_magic = true;
+  }
+  EXPECT_GT(qerror_observations, 0);
+  EXPECT_TRUE(result->emst_chosen ? saw_magic : true);
+  EXPECT_NE(QErrorReport(metrics).find("qerror."), std::string::npos);
+}
+
+TEST_F(ObsQueryTest, QueryLogRecordsFailuresAndPlainSelects) {
+  Database db;
+  Populate(&db);
+  auto bad = db.Query("SELECT FROM nowhere !!");
+  EXPECT_FALSE(bad.ok());
+  auto good = db.Query(query_, QueryOptions(ExecutionStrategy::kOriginal));
+  ASSERT_TRUE(good.ok()) << good.status().ToString();
+
+  auto entries = db.query_log()->Entries();
+  ASSERT_EQ(entries.size(), 2u);
+  EXPECT_NE(entries[0]->status, "ok");
+  EXPECT_EQ(entries[0]->rows, 0);
+  EXPECT_EQ(entries[1]->status, "ok");
+  EXPECT_EQ(entries[1]->kind, "select");
+  EXPECT_EQ(entries[1]->strategy, "Original");
+  EXPECT_EQ(entries[1]->rows, 1);
+  EXPECT_GT(entries[1]->total_work, 0);
+  // Original strategy: the EMST pipeline never ran, so no C2 is logged.
+  EXPECT_FALSE(entries[1]->emst_applied);
+  std::string dump = db.query_log()->Dump();
+  EXPECT_NE(dump.find("ERROR"), std::string::npos);
+  EXPECT_NE(dump.find("Planning"), std::string::npos);
+}
+
+TEST_F(ObsQueryTest, DecisionAuditCountersAreDeterministic) {
+  std::string dumps[2];
+  for (int run = 0; run < 2; ++run) {
+    Database db;
+    Populate(&db);
+    MetricsRegistry metrics;
+    QueryOptions options(ExecutionStrategy::kMagic);
+    options.metrics = &metrics;
+    ASSERT_TRUE(db.Query(query_, options).ok());
+    ASSERT_TRUE(db.Query("EXPLAIN ANALYZE " + query_, options).ok());
+    dumps[run] = metrics.ToString();
+    // Both the plain query and the analyze audited their decision.
+    EXPECT_EQ(metrics.CounterValue("optimizer.decisions.emst") +
+                  metrics.CounterValue("optimizer.decisions.no_emst"),
+              2);
+  }
+  EXPECT_EQ(dumps[0], dumps[1]);
+}
+
+TEST_F(ObsQueryTest, RecursiveExplainAnalyzeRowsReconcile) {
+  Database db;
+  ASSERT_TRUE(db.ExecuteScript(R"sql(
+    CREATE TABLE edge (src INTEGER, dst INTEGER);
+    INSERT INTO edge VALUES (1,2),(2,3),(3,4),(4,5),(5,6),(2,6),(7,8);
+    CREATE RECURSIVE VIEW tc (src, dst) AS
+      SELECT src, dst FROM edge UNION
+      SELECT t.src, e.dst FROM tc t, edge e WHERE t.dst = e.src;
+    ANALYZE;
+  )sql").ok());
+  QueryOptions options(ExecutionStrategy::kMagic);
+  auto result =
+      db.Query("EXPLAIN ANALYZE SELECT src, dst FROM tc WHERE src = 1",
+               options);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  ASSERT_GT(result->exec_stats.fixpoint_iterations, 0);
+
+  ASSERT_FALSE(result->box_stats.empty());
+  int64_t rows_out = 0;
+  for (const auto& [box_id, stats] : result->box_stats) {
+    rows_out += stats.rows_out;
+  }
+  EXPECT_EQ(rows_out, result->exec_stats.rows_produced);
+  EXPECT_EQ(result->result_rows, 5);  // 1->2,3,4,5,6
+}
+
+TEST_F(ObsQueryTest, StaleStatsWarningAfterInsertWithoutAnalyze) {
+  Database db;
+  Populate(&db);
+  // Populate() ends with AnalyzeAll, so nothing is stale yet.
+  MetricsRegistry fresh_metrics;
+  QueryOptions options(ExecutionStrategy::kMagic);
+  options.metrics = &fresh_metrics;
+  auto fresh = db.Query("EXPLAIN ANALYZE " + query_, options);
+  ASSERT_TRUE(fresh.ok()) << fresh.status().ToString();
+  EXPECT_EQ(fresh_metrics.CounterValue("optimizer.stale_stats"), 0);
+  EXPECT_EQ(fresh->analyze_report.find("are stale"), std::string::npos);
+
+  // INSERT bumps employee's version past its last-analyze mark.
+  ASSERT_TRUE(
+      db.Execute("INSERT INTO employee VALUES (999, 2, 90000.0)").ok());
+  MetricsRegistry stale_metrics;
+  options.metrics = &stale_metrics;
+  auto stale = db.Query("EXPLAIN ANALYZE " + query_, options);
+  ASSERT_TRUE(stale.ok()) << stale.status().ToString();
+  EXPECT_EQ(stale_metrics.CounterValue("optimizer.stale_stats"), 1);
+  EXPECT_NE(stale->analyze_report.find("statistics for 'employee' are stale"),
+            std::string::npos);
+
+  // ANALYZE clears the warning again.
+  ASSERT_TRUE(db.Execute("ANALYZE employee").ok());
+  MetricsRegistry cleared_metrics;
+  options.metrics = &cleared_metrics;
+  auto cleared = db.Query("EXPLAIN ANALYZE " + query_, options);
+  ASSERT_TRUE(cleared.ok()) << cleared.status().ToString();
+  EXPECT_EQ(cleared_metrics.CounterValue("optimizer.stale_stats"), 0);
 }
 
 TEST_F(ObsQueryTest, DisabledTracerLeavesCountersUnchanged) {

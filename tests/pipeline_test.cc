@@ -134,5 +134,32 @@ TEST_F(PipelineTest, ChosenGraphAlwaysValidates) {
   }
 }
 
+TEST_F(PipelineTest, ExplainAnalyzeReconcilesOnIndexNestedLoopPath) {
+  // With a secondary index on the magic-bound join column, EXPLAIN ANALYZE
+  // runs the index-nested-loop path; its per-box act_rows must still sum
+  // to the executor's rows_produced exactly.
+  ASSERT_TRUE(
+      db_.Execute("CREATE INDEX emp_workdept ON employee (workdept)").ok());
+  ASSERT_TRUE(db_.AnalyzeAll().ok());
+  const char* sql =
+      "SELECT d.deptname, v.avg_sal FROM department d, avgSal v "
+      "WHERE d.deptno = v.dept AND d.deptname = 'Planning'";
+  auto result =
+      db_.Query(std::string("EXPLAIN ANALYZE ") + sql,
+                QueryOptions(ExecutionStrategy::kMagic));
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_GT(result->exec_stats.index_probes, 0)
+      << "index path not taken:\n" << result->analyze_report;
+
+  ASSERT_FALSE(result->box_stats.empty());
+  int64_t rows_out = 0;
+  for (const auto& [box_id, stats] : result->box_stats) {
+    rows_out += stats.rows_out;
+  }
+  EXPECT_EQ(rows_out, result->exec_stats.rows_produced);
+  EXPECT_EQ(result->result_rows, 1);
+  EXPECT_NE(result->analyze_report.find("act_rows="), std::string::npos);
+}
+
 }  // namespace
 }  // namespace starmagic

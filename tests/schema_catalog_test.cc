@@ -94,6 +94,56 @@ TEST(CatalogTest, ViewsShareNamespaceWithTables) {
   EXPECT_TRUE(c.DropView("v").ok());
 }
 
+TEST(CatalogTest, StatisticsFreshnessTracksMutations) {
+  Catalog c;
+  // Absent tables are never reported stale.
+  EXPECT_FALSE(c.StatsStale("ghost"));
+  EXPECT_EQ(c.TableVersion("ghost"), 0);
+  EXPECT_EQ(c.LastAnalyzeVersion("ghost"), -1);
+
+  ASSERT_TRUE(c.CreateTable("b_emp", EmpSchema()).ok());
+  ASSERT_TRUE(c.CreateTable("a_dept", EmpSchema()).ok());
+  EXPECT_EQ(c.TableVersion("b_emp"), 0);
+  EXPECT_EQ(c.LastAnalyzeVersion("b_emp"), -1);  // never analyzed
+  EXPECT_TRUE(c.StatsStale("b_emp"));
+
+  // Name-sorted, case-normalized.
+  std::vector<std::string> stale = c.StaleStatsTables();
+  ASSERT_EQ(stale.size(), 2u);
+  EXPECT_EQ(stale[0], "a_dept");
+  EXPECT_EQ(stale[1], "b_emp");
+
+  ASSERT_TRUE(c.AnalyzeAll().ok());
+  EXPECT_FALSE(c.StatsStale("b_emp"));
+  EXPECT_EQ(c.LastAnalyzeVersion("b_emp"), c.TableVersion("b_emp"));
+  EXPECT_TRUE(c.StaleStatsTables().empty());
+
+  // INSERT path: MaintainAfterAppend bumps the version -> stale again.
+  ASSERT_TRUE(c.GetTable("b_emp")
+                  ->Append({Value::Int(1), Value::String("a"), Value::Double(1)})
+                  .ok());
+  c.MaintainAfterAppend("b_emp");
+  EXPECT_EQ(c.TableVersion("b_emp"), 1);
+  EXPECT_TRUE(c.StatsStale("b_emp"));
+  EXPECT_FALSE(c.StatsStale("a_dept"));
+  EXPECT_EQ(c.StaleStatsTables(), std::vector<std::string>{"b_emp"});
+
+  ASSERT_TRUE(c.AnalyzeTable("b_emp").ok());
+  EXPECT_FALSE(c.StatsStale("b_emp"));
+  EXPECT_EQ(c.LastAnalyzeVersion("b_emp"), 1);
+
+  // UPDATE/DELETE path: ReindexTable also bumps.
+  ASSERT_TRUE(c.ReindexTable("b_emp").ok());
+  EXPECT_EQ(c.TableVersion("b_emp"), 2);
+  EXPECT_TRUE(c.StatsStale("b_emp"));
+
+  // Dropping the table forgets its version history.
+  ASSERT_TRUE(c.DropTable("b_emp").ok());
+  EXPECT_FALSE(c.StatsStale("b_emp"));
+  EXPECT_EQ(c.TableVersion("b_emp"), 0);
+  EXPECT_EQ(c.LastAnalyzeVersion("b_emp"), -1);
+}
+
 TEST(CatalogTest, AnalyzeAllAndStats) {
   Catalog c;
   ASSERT_TRUE(c.CreateTable("t", EmpSchema()).ok());
