@@ -2,6 +2,7 @@
 // engine. Statements end with ';'. Dot-commands control the session:
 //
 //   .strategy original|correlated|magic   execution strategy for SELECTs
+//   .threads [n]                          worker threads for execution
 //   .explain on|off                       print the optimized query graph
 //   .stats on|off                         print executor work counters
 //   .trace on <file.json>|off             record spans, write on off/exit
@@ -46,6 +47,7 @@ struct ShellState {
   Tracer tracer;
   MetricsRegistry metrics;
   std::string trace_file;
+  int threads = 1;
 };
 
 void FlushTrace(ShellState* state) {
@@ -70,6 +72,7 @@ void RunStatement(ShellState* state, const std::string& sql) {
     options.capture_plan_report = state->explain;
     options.tracer = &state->tracer;
     options.metrics = &state->metrics;
+    options.num_threads = state->threads;
     auto r = state->db.Query(sql, options);
     if (!r.ok()) {
       std::printf("error: %s\n", r.status().ToString().c_str());
@@ -96,7 +99,9 @@ bool RunDotCommand(ShellState* state, const std::string& line) {
   if (cmd == ".quit" || cmd == ".exit") return false;
   if (cmd == ".help") {
     std::printf(
-        ".strategy original|correlated|magic\n.explain on|off\n"
+        ".strategy original|correlated|magic\n"
+        ".threads [n]        worker threads for execution (1 = sequential)\n"
+        ".explain on|off\n"
         ".stats on|off\n.trace on <file.json>|off\n.metrics\n"
         ".history [n]        last n logged queries (all when omitted)\n"
         ".qerror             per-box-type Q-error report + stale stats\n"
@@ -108,6 +113,16 @@ bool RunDotCommand(ShellState* state, const std::string& line) {
     else if (a == "magic") state->strategy = ExecutionStrategy::kMagic;
     else std::printf("unknown strategy '%s'\n", a.c_str());
     std::printf("strategy = %s\n", StrategyName(state->strategy));
+  } else if (cmd == ".threads") {
+    if (!a.empty()) {
+      int n = std::atoi(a.c_str());
+      if (n < 1) {
+        std::printf("error: thread count must be >= 1\n");
+        return true;
+      }
+      state->threads = n;
+    }
+    std::printf("threads = %d\n", state->threads);
   } else if (cmd == ".explain") {
     state->explain = a == "on";
     std::printf("explain = %s\n", state->explain ? "on" : "off");
@@ -137,6 +152,7 @@ bool RunDotCommand(ShellState* state, const std::string& line) {
       std::printf("usage: .trace on <file.json> | .trace off\n");
     }
   } else if (cmd == ".metrics") {
+    std::printf("session: threads=%d\n", state->threads);
     std::string dump = state->metrics.ToString();
     std::printf("%s", dump.empty() ? "(no metrics recorded)\n" : dump.c_str());
   } else if (cmd == ".history") {

@@ -83,8 +83,31 @@ def validate_file(path):
                 or s["wall_ms"] < 0:
             return fail(path, f"'wall_ms' in {where} must be a "
                               "non-negative number")
+    if not check_thread_invariance(path, samples):
+        return False
     print(f"{path}: ok ({doc['bench']}, {len(samples)} samples, "
           f"scale={doc['scale']}, smoke={doc['smoke']})")
+    return True
+
+
+def check_thread_invariance(path, samples):
+    """Samples that only differ in thread count ('threads=N' strategies)
+    must report identical total_work and rows: only wall_ms may vary with
+    the thread count (the parallel executor's determinism contract)."""
+    by_workload = {}
+    for s in samples:
+        if s["strategy"].startswith("threads="):
+            by_workload.setdefault(s["workload"], []).append(s)
+    for workload, group in sorted(by_workload.items()):
+        baseline = group[0]
+        for s in group[1:]:
+            for field in ("total_work", "rows"):
+                if s[field] != baseline[field]:
+                    return fail(
+                        path,
+                        f"workload '{workload}': {field} varies with the "
+                        f"thread count ({baseline['strategy']}: "
+                        f"{baseline[field]} vs {s['strategy']}: {s[field]})")
     return True
 
 

@@ -29,7 +29,7 @@ run_smoke_battery() {
   local dir="$1"
   mkdir -p "${dir}"
   cd "${dir}"
-  for bench in table1 index figure1 figure4 heuristic ablation recursive tpcd; do
+  for bench in table1 index figure1 figure4 heuristic ablation recursive tpcd parallel; do
     echo "== bench_${bench} (smoke, $(basename "${dir}")) =="
     "${BUILD}/bench/bench_${bench}" > "out_${bench}.txt"
   done
@@ -61,5 +61,21 @@ for e in events:
 print(f"{path}: OK ({len(events)} events)")
 PY
 done
+
+# ThreadSanitizer battery: a separate build tree (TSan and ASan cannot
+# coexist) covering the parallel subsystem — the worker-pool/determinism
+# tests plus a 4-thread smoke run of the parallel bench. Any data race
+# fails the run.
+echo "== tsan: parallel subsystem =="
+TSAN_BUILD="${ROOT}/build-tsan"
+cmake -B "${TSAN_BUILD}" -S "${ROOT}" -DSTARMAGIC_SANITIZE=THREAD
+cmake --build "${TSAN_BUILD}" -j "$(nproc)" --target parallel_test bench_parallel
+export TSAN_OPTIONS="halt_on_error=1"
+"${TSAN_BUILD}/tests/parallel_test"
+TSAN_DIR="${SMOKE_DIR}/tsan"
+mkdir -p "${TSAN_DIR}"
+cd "${TSAN_DIR}"
+STARMAGIC_THREADS=4 "${TSAN_BUILD}/bench/bench_parallel" > out_parallel_tsan.txt
+echo "tsan battery clean"
 
 echo "ALL CHECKS PASSED"

@@ -288,6 +288,18 @@ void RecordExecMetrics(MetricsRegistry* metrics, const ExecStats& stats,
       ->Observe(static_cast<double>(result_rows));
 }
 
+// Wall-clock-side parallel counters; skipped entirely for sequential runs
+// so single-threaded metric dumps stay unchanged.
+void RecordParallelMetrics(MetricsRegistry* metrics,
+                           const ParallelStats& stats) {
+  if (metrics == nullptr || stats.tasks == 0) return;
+  metrics->counter("parallel.tasks")->Add(stats.tasks);
+  metrics->counter("parallel.morsels")->Add(stats.morsels);
+  metrics->counter("parallel.morsels_stolen")->Add(stats.morsels_stolen);
+  metrics->counter("parallel.worker_busy_us")->Add(stats.worker_busy_us);
+  metrics->counter("parallel.barrier_wait_us")->Add(stats.barrier_wait_us);
+}
+
 // Histogram suffix for per-box-type Q-error accounting. Magic-role boxes
 // are bucketed together regardless of kind: their estimates come from the
 // EMST-specific magic-cardinality path, which is what we want to watch.
@@ -356,8 +368,10 @@ Result<QueryResult> Database::RunPipeline(PipelineResult pipeline,
       options.strategy != ExecutionStrategy::kCorrelated;
   exec_options.tracer = options.tracer;
   exec_options.collect_box_stats = collect_box_stats;
+  exec_options.num_threads = options.num_threads;
   Executor executor(pipeline.graph.get(), &catalog_, exec_options);
   SM_ASSIGN_OR_RETURN(Table table, executor.Run());
+  RecordParallelMetrics(options.metrics, executor.parallel_stats());
 
   QueryResult result;
   result.table = std::move(table);
@@ -429,8 +443,10 @@ Result<QueryResult> Database::RunExplain(const AstExplain& ex,
         options.strategy != ExecutionStrategy::kCorrelated;
     exec_options.tracer = options.tracer;
     exec_options.collect_box_stats = true;
+    exec_options.num_threads = options.num_threads;
     Executor executor(pipeline.graph.get(), &catalog_, exec_options);
     SM_ASSIGN_OR_RETURN(Table discarded, executor.Run());
+    RecordParallelMetrics(options.metrics, executor.parallel_stats());
     result.exec_stats = executor.stats();
     result.box_stats = executor.box_stats();
     result.result_rows = discarded.num_rows();
@@ -451,7 +467,8 @@ Result<QueryResult> Database::RunExplain(const AstExplain& ex,
              " strategy=", StrategyName(options.strategy),
              " C1=", FormatDouble(result.cost_no_emst),
              " C2=", FormatDouble(result.cost_with_emst),
-             " emst_chosen=", result.emst_chosen ? "true" : "false", "\n");
+             " emst_chosen=", result.emst_chosen ? "true" : "false",
+             " threads=", options.num_threads, "\n");
   if (!pipeline.rule_fires.empty()) {
     report += "rule fires:\n";
     report += RuleFireTable(pipeline.rule_fires);

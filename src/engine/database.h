@@ -29,6 +29,10 @@ struct QueryOptions {
   /// the actual TotalWork after execution; past this Q-error ratio the run
   /// counts as a mispredict (`optimizer.mispredict`, warning span).
   double mispredict_ratio = 10.0;
+  /// Worker threads for morsel-driven parallel execution (see
+  /// ExecOptions::num_threads). 1 = sequential. Results and deterministic
+  /// work counters are identical for any value.
+  int num_threads = 1;
 
   QueryOptions() = default;
   explicit QueryOptions(ExecutionStrategy s) : strategy(s) {}

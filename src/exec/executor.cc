@@ -10,6 +10,18 @@
 
 namespace starmagic {
 
+void ExecStats::MergeFrom(const ExecStats& other) {
+  rows_scanned += other.rows_scanned;
+  rows_produced += other.rows_produced;
+  join_probes += other.join_probes;
+  box_evaluations += other.box_evaluations;
+  fixpoint_iterations += other.fixpoint_iterations;
+  index_probes += other.index_probes;
+  index_rows_fetched += other.index_rows_fetched;
+  cache_hits += other.cache_hits;
+  cache_misses += other.cache_misses;
+}
+
 std::string ExecStats::ToString() const {
   return StrCat("scanned=", rows_scanned, " produced=", rows_produced,
                 " probes=", join_probes, " evals=", box_evaluations,
@@ -27,6 +39,42 @@ Executor::Executor(QueryGraph* graph, const Catalog* catalog,
   for (int box_id : strata_.recursive_boxes) {
     scc_members_[strata_.scc_id[box_id]].push_back(box_id);
   }
+  if (options_.num_threads > 1) {
+    pool_ = std::make_unique<WorkerPool>(options_.num_threads,
+                                         options_.tracer);
+  }
+}
+
+Status Executor::ParallelAppend(
+    int64_t n,
+    const std::function<Status(int64_t begin, int64_t end, ComboVec* out,
+                               ExecStats* stats)>& body,
+    ComboVec* next) {
+  const int64_t morsel_size = std::max<int64_t>(1, options_.morsel_size);
+  const int64_t num_morsels = (n + morsel_size - 1) / morsel_size;
+  std::vector<ComboVec> buffers(static_cast<size_t>(num_morsels));
+  std::vector<ExecStats> worker_stats(
+      static_cast<size_t>(pool_->num_threads()));
+  Status status = pool_->ForEachMorsel(
+      n, morsel_size,
+      [&](int64_t morsel, int64_t begin, int64_t end, int worker) {
+        return body(begin, end, &buffers[static_cast<size_t>(morsel)],
+                    &worker_stats[static_cast<size_t>(worker)]);
+      });
+  // Merge worker counters even on error, mirroring the partial counts a
+  // failing sequential loop leaves behind (totals only matter on success).
+  for (const ExecStats& ws : worker_stats) stats_.MergeFrom(ws);
+  SM_RETURN_IF_ERROR(status);
+  size_t total = next->size();
+  for (const ComboVec& buffer : buffers) total += buffer.size();
+  if (static_cast<int64_t>(total) > options_.max_rows_per_box) {
+    return Status::ExecutionError("row limit exceeded during join");
+  }
+  next->reserve(total);
+  for (ComboVec& buffer : buffers) {
+    for (auto& combo : buffer) next->push_back(std::move(combo));
+  }
+  return Status::OK();
 }
 
 namespace {
@@ -403,24 +451,28 @@ Result<Table> Executor::ComputeSelect(Box* box, const RowEnv& env) {
       if (!hashable) residual.push_back(f);
     }
 
-    // Probe-one-combo helper shared by the hash paths.
+    // Probe-one-combo helper shared by the hash paths. Pure over shared
+    // state except for *stats/*next, which the parallel path points at
+    // per-worker/per-morsel storage — so the same body serves the
+    // sequential loop and the morsel-partitioned one.
     auto probe_matches =
         [&](const std::vector<const Row*>& combo, RowEnv* inner,
             const JoinHashTable& table,
             const std::function<const Row*(int)>& row_at,
-            std::vector<std::vector<const Row*>>* next) -> Status {
+            std::vector<std::vector<const Row*>>* next,
+            ExecStats* stats) -> Status {
       Row key;
       key.reserve(hash_preds.size());
       for (const HashPred& hp : hash_preds) {
         SM_ASSIGN_OR_RETURN(Value v, EvalScalar(*hp.other_side, *inner));
         key.push_back(std::move(v));
       }
-      ++stats_.join_probes;
+      ++stats->join_probes;
       const std::vector<int>* matches = table.Probe(key);
       if (matches == nullptr) return Status::OK();
       for (int ri : *matches) {
         const Row* row = row_at(ri);
-        ++stats_.rows_scanned;
+        ++stats->rows_scanned;
         inner->Bind(q->id, row);
         bool keep = true;
         for (const Expr* f : residual) {
@@ -484,28 +536,26 @@ Result<Table> Executor::ComputeSelect(Box* box, const RowEnv& env) {
             for (size_t i = 0; i < hash_preds.size(); ++i) {
               if (!used[i]) index_residual.push_back(hash_preds[i].orig);
             }
-            std::vector<int> ids;
-            for (const auto& combo : current) {
-              RowEnv inner(&box_env);
-              for (size_t i = 0; i < bound.size(); ++i) {
-                inner.Bind(bound[i], combo[i]);
-              }
+            auto probe_index_eq = [&](const std::vector<const Row*>& combo,
+                                      RowEnv* inner, std::vector<int>* ids,
+                                      ComboVec* out,
+                                      ExecStats* stats) -> Status {
               Row key;
               key.reserve(key_exprs.size());
               for (const Expr* e : key_exprs) {
-                SM_ASSIGN_OR_RETURN(Value v, EvalScalar(*e, inner));
+                SM_ASSIGN_OR_RETURN(Value v, EvalScalar(*e, *inner));
                 key.push_back(std::move(v));
               }
-              ++stats_.index_probes;
-              ids.clear();
-              match->index->ProbeEqual(key, &ids);
-              for (int ri : ids) {
+              ++stats->index_probes;
+              ids->clear();
+              match->index->ProbeEqual(key, ids);
+              for (int ri : *ids) {
                 const Row* row = &table->rows()[static_cast<size_t>(ri)];
-                ++stats_.index_rows_fetched;
-                inner.Bind(q->id, row);
+                ++stats->index_rows_fetched;
+                inner->Bind(q->id, row);
                 bool keep = true;
                 for (const Expr* f : index_residual) {
-                  SM_ASSIGN_OR_RETURN(TriBool v, EvalPredicate(*f, inner));
+                  SM_ASSIGN_OR_RETURN(TriBool v, EvalPredicate(*f, *inner));
                   if (v != TriBool::kTrue) {
                     keep = false;
                     break;
@@ -514,15 +564,45 @@ Result<Table> Executor::ComputeSelect(Box* box, const RowEnv& env) {
                 if (keep) {
                   auto combo2 = combo;
                   combo2.push_back(row);
-                  next.push_back(std::move(combo2));
-                  if (static_cast<int64_t>(next.size()) >
+                  out->push_back(std::move(combo2));
+                  if (static_cast<int64_t>(out->size()) >
                       options_.max_rows_per_box) {
                     return Status::ExecutionError(
                         "row limit exceeded during join");
                   }
                 }
               }
-              inner.Unbind(q->id);
+              inner->Unbind(q->id);
+              return Status::OK();
+            };
+            if (ShouldParallelize(static_cast<int64_t>(current.size()))) {
+              SM_RETURN_IF_ERROR(ParallelAppend(
+                  static_cast<int64_t>(current.size()),
+                  [&](int64_t cb, int64_t ce, ComboVec* out,
+                      ExecStats* stats) -> Status {
+                    RowEnv inner(&box_env);
+                    std::vector<int> ids;
+                    for (int64_t ci = cb; ci < ce; ++ci) {
+                      const auto& combo = current[static_cast<size_t>(ci)];
+                      for (size_t i = 0; i < bound.size(); ++i) {
+                        inner.Bind(bound[i], combo[i]);
+                      }
+                      SM_RETURN_IF_ERROR(
+                          probe_index_eq(combo, &inner, &ids, out, stats));
+                    }
+                    return Status::OK();
+                  },
+                  &next));
+            } else {
+              std::vector<int> ids;
+              for (const auto& combo : current) {
+                RowEnv inner(&box_env);
+                for (size_t i = 0; i < bound.size(); ++i) {
+                  inner.Bind(bound[i], combo[i]);
+                }
+                SM_RETURN_IF_ERROR(
+                    probe_index_eq(combo, &inner, &ids, &next, &stats_));
+              }
             }
             step_done = true;
           }
@@ -561,14 +641,12 @@ Result<Table> Executor::ComputeSelect(Box* box, const RowEnv& env) {
                         q->input->table_name(),
                         range_cc.column->column_index);
           if (ordered != nullptr) {
-            std::vector<int> ids;
-            for (const auto& combo : current) {
-              RowEnv inner(&box_env);
-              for (size_t i = 0; i < bound.size(); ++i) {
-                inner.Bind(bound[i], combo[i]);
-              }
+            auto probe_index_range = [&](const std::vector<const Row*>& combo,
+                                         RowEnv* inner, std::vector<int>* ids,
+                                         ComboVec* out,
+                                         ExecStats* stats) -> Status {
               SM_ASSIGN_OR_RETURN(Value v,
-                                  EvalScalar(*range_cc.other, inner));
+                                  EvalScalar(*range_cc.other, *inner));
               const Value* lo = nullptr;
               const Value* hi = nullptr;
               bool inclusive = range_cc.op == BinaryOp::kLtEq ||
@@ -579,16 +657,16 @@ Result<Table> Executor::ComputeSelect(Box* box, const RowEnv& env) {
               } else {
                 lo = &v;
               }
-              ++stats_.index_probes;
-              ids.clear();
-              ordered->ProbeRange(lo, inclusive, hi, inclusive, &ids);
-              for (int ri : ids) {
+              ++stats->index_probes;
+              ids->clear();
+              ordered->ProbeRange(lo, inclusive, hi, inclusive, ids);
+              for (int ri : *ids) {
                 const Row* row = &table->rows()[static_cast<size_t>(ri)];
-                ++stats_.index_rows_fetched;
-                inner.Bind(q->id, row);
+                ++stats->index_rows_fetched;
+                inner->Bind(q->id, row);
                 bool keep = true;
                 for (const Expr* f : residual) {
-                  SM_ASSIGN_OR_RETURN(TriBool tv, EvalPredicate(*f, inner));
+                  SM_ASSIGN_OR_RETURN(TriBool tv, EvalPredicate(*f, *inner));
                   if (tv != TriBool::kTrue) {
                     keep = false;
                     break;
@@ -597,15 +675,45 @@ Result<Table> Executor::ComputeSelect(Box* box, const RowEnv& env) {
                 if (keep) {
                   auto combo2 = combo;
                   combo2.push_back(row);
-                  next.push_back(std::move(combo2));
-                  if (static_cast<int64_t>(next.size()) >
+                  out->push_back(std::move(combo2));
+                  if (static_cast<int64_t>(out->size()) >
                       options_.max_rows_per_box) {
                     return Status::ExecutionError(
                         "row limit exceeded during join");
                   }
                 }
               }
-              inner.Unbind(q->id);
+              inner->Unbind(q->id);
+              return Status::OK();
+            };
+            if (ShouldParallelize(static_cast<int64_t>(current.size()))) {
+              SM_RETURN_IF_ERROR(ParallelAppend(
+                  static_cast<int64_t>(current.size()),
+                  [&](int64_t cb, int64_t ce, ComboVec* out,
+                      ExecStats* stats) -> Status {
+                    RowEnv inner(&box_env);
+                    std::vector<int> ids;
+                    for (int64_t ci = cb; ci < ce; ++ci) {
+                      const auto& combo = current[static_cast<size_t>(ci)];
+                      for (size_t i = 0; i < bound.size(); ++i) {
+                        inner.Bind(bound[i], combo[i]);
+                      }
+                      SM_RETURN_IF_ERROR(
+                          probe_index_range(combo, &inner, &ids, out, stats));
+                    }
+                    return Status::OK();
+                  },
+                  &next));
+            } else {
+              std::vector<int> ids;
+              for (const auto& combo : current) {
+                RowEnv inner(&box_env);
+                for (size_t i = 0; i < bound.size(); ++i) {
+                  inner.Bind(bound[i], combo[i]);
+                }
+                SM_RETURN_IF_ERROR(
+                    probe_index_range(combo, &inner, &ids, &next, &stats_));
+              }
             }
             step_done = true;
           }
@@ -678,23 +786,49 @@ Result<Table> Executor::ComputeSelect(Box* box, const RowEnv& env) {
         auto row_at = [&input_rows](int ri) {
           return input_rows[static_cast<size_t>(ri)];
         };
-        for (const auto& combo : current) {
-          RowEnv inner(&box_env);
-          for (size_t i = 0; i < bound.size(); ++i) inner.Bind(bound[i], combo[i]);
-          SM_RETURN_IF_ERROR(probe_matches(combo, &inner, table, row_at, &next));
+        if (ShouldParallelize(static_cast<int64_t>(current.size()))) {
+          // Partitioned probe: the build table is shared read-only; each
+          // worker probes its combos into a per-morsel buffer which
+          // ParallelAppend concatenates in morsel (= sequential) order.
+          SM_RETURN_IF_ERROR(ParallelAppend(
+              static_cast<int64_t>(current.size()),
+              [&](int64_t cb, int64_t ce, ComboVec* out,
+                  ExecStats* stats) -> Status {
+                RowEnv inner(&box_env);
+                for (int64_t ci = cb; ci < ce; ++ci) {
+                  const auto& combo = current[static_cast<size_t>(ci)];
+                  for (size_t i = 0; i < bound.size(); ++i) {
+                    inner.Bind(bound[i], combo[i]);
+                  }
+                  SM_RETURN_IF_ERROR(probe_matches(combo, &inner, table,
+                                                   row_at, out, stats));
+                }
+                return Status::OK();
+              },
+              &next));
+        } else {
+          for (const auto& combo : current) {
+            RowEnv inner(&box_env);
+            for (size_t i = 0; i < bound.size(); ++i) {
+              inner.Bind(bound[i], combo[i]);
+            }
+            SM_RETURN_IF_ERROR(
+                probe_matches(combo, &inner, table, row_at, &next, &stats_));
+          }
         }
       } else {
         // Nested loop with all filters (filter-only steps and joins with
         // no usable equality).
-        for (const auto& combo : current) {
-          RowEnv inner(&box_env);
-          for (size_t i = 0; i < bound.size(); ++i) inner.Bind(bound[i], combo[i]);
-          for (const Row* row : input_rows) {
-            inner.Bind(q->id, row);
-            ++stats_.join_probes;
+        auto scan_rows = [&](const std::vector<const Row*>& combo,
+                             RowEnv* inner, int64_t rb, int64_t re,
+                             ComboVec* out, ExecStats* stats) -> Status {
+          for (int64_t r = rb; r < re; ++r) {
+            const Row* row = input_rows[static_cast<size_t>(r)];
+            inner->Bind(q->id, row);
+            ++stats->join_probes;
             bool keep = true;
             for (const Expr* f : filters) {
-              SM_ASSIGN_OR_RETURN(TriBool v, EvalPredicate(*f, inner));
+              SM_ASSIGN_OR_RETURN(TriBool v, EvalPredicate(*f, *inner));
               if (v != TriBool::kTrue) {
                 keep = false;
                 break;
@@ -703,14 +837,62 @@ Result<Table> Executor::ComputeSelect(Box* box, const RowEnv& env) {
             if (keep) {
               auto combo2 = combo;
               combo2.push_back(row);
-              next.push_back(std::move(combo2));
-              if (static_cast<int64_t>(next.size()) >
+              out->push_back(std::move(combo2));
+              if (static_cast<int64_t>(out->size()) >
                   options_.max_rows_per_box) {
                 return Status::ExecutionError("row limit exceeded during join");
               }
             }
           }
-          inner.Unbind(q->id);
+          inner->Unbind(q->id);
+          return Status::OK();
+        };
+        const int64_t num_combos = static_cast<int64_t>(current.size());
+        const int64_t num_input = static_cast<int64_t>(input_rows.size());
+        if (ShouldParallelize(num_combos) && num_combos >= num_input) {
+          // Split over the (larger) outer combination set.
+          SM_RETURN_IF_ERROR(ParallelAppend(
+              num_combos,
+              [&](int64_t cb, int64_t ce, ComboVec* out,
+                  ExecStats* stats) -> Status {
+                RowEnv inner(&box_env);
+                for (int64_t ci = cb; ci < ce; ++ci) {
+                  const auto& combo = current[static_cast<size_t>(ci)];
+                  for (size_t i = 0; i < bound.size(); ++i) {
+                    inner.Bind(bound[i], combo[i]);
+                  }
+                  SM_RETURN_IF_ERROR(
+                      scan_rows(combo, &inner, 0, num_input, out, stats));
+                }
+                return Status::OK();
+              },
+              &next));
+        } else if (ShouldParallelize(num_input)) {
+          // Partitioned scan: split the input rows (the common shape — a
+          // base-table or box scan with predicate evaluation has a single
+          // empty combo), one barrier per combo.
+          for (const auto& combo : current) {
+            SM_RETURN_IF_ERROR(ParallelAppend(
+                num_input,
+                [&](int64_t rb, int64_t re, ComboVec* out,
+                    ExecStats* stats) -> Status {
+                  RowEnv inner(&box_env);
+                  for (size_t i = 0; i < bound.size(); ++i) {
+                    inner.Bind(bound[i], combo[i]);
+                  }
+                  return scan_rows(combo, &inner, rb, re, out, stats);
+                },
+                &next));
+          }
+        } else {
+          for (const auto& combo : current) {
+            RowEnv inner(&box_env);
+            for (size_t i = 0; i < bound.size(); ++i) {
+              inner.Bind(bound[i], combo[i]);
+            }
+            SM_RETURN_IF_ERROR(scan_rows(combo, &inner, 0, num_input, &next,
+                                         &stats_));
+          }
         }
       }
     }

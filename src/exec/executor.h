@@ -2,6 +2,7 @@
 #define STARMAGIC_EXEC_EXECUTOR_H_
 
 #include <deque>
+#include <functional>
 #include <memory>
 #include <map>
 #include <set>
@@ -12,6 +13,7 @@
 #include "exec/eval.h"
 #include "exec/join.h"
 #include "obs/trace.h"
+#include "parallel/worker_pool.h"
 #include "qgm/graph.h"
 
 namespace starmagic {
@@ -36,6 +38,18 @@ struct ExecOptions {
   /// cache hits) for EXPLAIN ANALYZE. Off by default: the bookkeeping adds
   /// a clock read and a map lookup per box evaluation.
   bool collect_box_stats = false;
+  /// Worker threads for the morsel-driven parallel evaluation paths
+  /// (partitioned scans, hash-join probes, index probes — including the
+  /// joins inside each fixpoint round). 1 = fully sequential. Result rows
+  /// and every deterministic work counter are bit-identical for any value
+  /// (see docs/parallelism.md for the contract).
+  int num_threads = 1;
+  /// Rows per morsel for the parallel loops, and the threshold below
+  /// which a loop stays sequential (splitting tiny inputs costs more than
+  /// it saves). Tests shrink this to exercise the parallel paths on small
+  /// tables; the split is a function of input size only, never of the
+  /// thread count, so results cannot shift with it.
+  int64_t morsel_size = 2048;
 };
 
 /// Deterministic work counters (machine-independent evidence for the
@@ -58,6 +72,10 @@ struct ExecStats {
     return rows_scanned + rows_produced + join_probes + index_probes +
            index_rows_fetched;
   }
+  /// Adds every counter of `other` into this. Addition is commutative, so
+  /// merging per-worker stats in any order yields totals identical to a
+  /// sequential run's.
+  void MergeFrom(const ExecStats& other);
   std::string ToString() const;
 };
 
@@ -94,7 +112,15 @@ class Executor {
   /// Per-box stats keyed by box id; empty unless collect_box_stats.
   const std::map<int, BoxExecStats>& box_stats() const { return box_stats_; }
 
+  /// Wall-clock-side parallel counters (tasks, morsels, wait times); all
+  /// zero when num_threads == 1. Not part of the deterministic ExecStats.
+  ParallelStats parallel_stats() const {
+    return pool_ != nullptr ? pool_->stats() : ParallelStats{};
+  }
+
  private:
+  /// One joined row combination: the source row of each bound quantifier.
+  using ComboVec = std::vector<std::vector<const Row*>>;
   /// Evaluates `box` under `env`, returning a stable pointer: cached
   /// storage, or `*scratch` when memoization is off for this evaluation.
   Result<const Table*> EvalBox(Box* box, const RowEnv& env, Table* scratch);
@@ -116,11 +142,29 @@ class Executor {
   /// Binding-key row for `box` under `env` (values of the external refs).
   Result<Row> BindingKey(Box* box, const RowEnv& env);
 
+  /// True when a loop over `n` items should use the worker pool.
+  bool ShouldParallelize(int64_t n) const {
+    return pool_ != nullptr && n > options_.morsel_size;
+  }
+
+  /// Runs `body` over [0, n) split into morsels: each morsel gets its own
+  /// output buffer and each worker its own ExecStats; buffers are
+  /// concatenated into *next in morsel order (reproducing the sequential
+  /// loop's row order exactly) and the stats are summed into stats_. The
+  /// body must only read shared state — in particular it must not call
+  /// EvalBox (caches are coordinator-only).
+  Status ParallelAppend(
+      int64_t n,
+      const std::function<Status(int64_t begin, int64_t end, ComboVec* out,
+                                 ExecStats* stats)>& body,
+      ComboVec* next);
+
   QueryGraph* graph_;
   const Catalog* catalog_;
   ExecOptions options_;
   ExecStats stats_;
   std::map<int, BoxExecStats> box_stats_;
+  std::unique_ptr<WorkerPool> pool_;  ///< null when num_threads == 1
 
   std::map<int, Table> cache_;  ///< uncorrelated results, keyed by box id
   std::map<int, std::unordered_map<Row, Table, RowHash, RowEq>> corr_cache_;

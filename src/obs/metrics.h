@@ -1,6 +1,7 @@
 #ifndef STARMAGIC_OBS_METRICS_H_
 #define STARMAGIC_OBS_METRICS_H_
 
+#include <atomic>
 #include <cstdint>
 #include <limits>
 #include <map>
@@ -10,13 +11,18 @@
 namespace starmagic {
 
 /// A monotonically increasing named count (rule fires, cache hits, ...).
+/// Increments are atomic so counters obtained before a parallel region
+/// may be bumped from worker threads; counter *lookup* (the registry) is
+/// still coordinator-only.
 class Counter {
  public:
-  void Add(int64_t delta = 1) { value_ += delta; }
-  int64_t value() const { return value_; }
+  void Add(int64_t delta = 1) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  int64_t value() const { return value_.load(std::memory_order_relaxed); }
 
  private:
-  int64_t value_ = 0;
+  std::atomic<int64_t> value_{0};
 };
 
 /// A distribution of observed values: count/sum/min/max plus power-of-two
@@ -58,6 +64,11 @@ class Histogram {
 /// convention ("rewrite.fires.merge", "exec.cache_hits"). Iteration order
 /// is name-sorted, so dumps are deterministic. Returned pointers remain
 /// valid for the registry's lifetime (std::map node stability).
+///
+/// Thread-safety: counter()/histogram() *lookup* and Histogram::Observe
+/// are coordinator-only (they mutate the maps / non-atomic state), but a
+/// Counter pointer obtained before a parallel region may be Add()ed from
+/// worker threads — increments are atomic.
 class MetricsRegistry {
  public:
   Counter* counter(const std::string& name) { return &counters_[name]; }

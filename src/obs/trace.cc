@@ -123,6 +123,63 @@ void Tracer::AddEvent(
   events_.push_back(std::move(event));
 }
 
+int SpanBuffer::BeginSpan(std::string name, std::string category) {
+  BufferedSpan span;
+  span.name = std::move(name);
+  span.category = std::move(category);
+  span.parent = open_stack_.empty() ? -1 : open_stack_.back();
+  span.begin = std::chrono::steady_clock::now();
+  spans_.push_back(std::move(span));
+  int id = static_cast<int>(spans_.size()) - 1;
+  open_stack_.push_back(id);
+  return id;
+}
+
+void SpanBuffer::EndSpan(int span_id) {
+  if (span_id < 0 || span_id >= static_cast<int>(spans_.size())) return;
+  auto it = std::find(open_stack_.begin(), open_stack_.end(), span_id);
+  if (it == open_stack_.end()) return;  // already closed
+  auto now = std::chrono::steady_clock::now();
+  for (auto inner = it; inner != open_stack_.end(); ++inner) {
+    BufferedSpan& span = spans_[static_cast<size_t>(*inner)];
+    if (!span.closed) {
+      span.end = now;
+      span.closed = true;
+    }
+  }
+  open_stack_.erase(it, open_stack_.end());
+}
+
+void SpanBuffer::SetAttribute(int span_id, std::string key, TraceValue value) {
+  if (span_id < 0 || span_id >= static_cast<int>(spans_.size())) return;
+  spans_[static_cast<size_t>(span_id)].attributes.emplace_back(
+      std::move(key), std::move(value));
+}
+
+void Tracer::MergeSpanBuffer(const SpanBuffer& buffer, int tid) {
+  if (!enabled_ || buffer.empty()) return;
+  int parent_for_roots = open_stack_.empty() ? -1 : open_stack_.back();
+  int base = static_cast<int>(spans_.size());
+  for (const SpanBuffer::BufferedSpan& buffered : buffer.spans()) {
+    SpanRecord span;
+    span.id = static_cast<int>(spans_.size());
+    span.parent_id =
+        buffered.parent >= 0 ? base + buffered.parent : parent_for_roots;
+    span.name = buffered.name;
+    span.category = buffered.category;
+    span.tid = tid;
+    auto to_us = [this](std::chrono::steady_clock::time_point tp) {
+      return std::max<int64_t>(
+          0, std::chrono::duration_cast<std::chrono::microseconds>(tp - epoch_)
+                 .count());
+    };
+    span.begin_us = to_us(buffered.begin);
+    span.end_us = to_us(buffered.closed ? buffered.end : buffered.begin);
+    span.attributes = buffered.attributes;
+    spans_.push_back(std::move(span));
+  }
+}
+
 void Tracer::Clear() {
   spans_.clear();
   events_.clear();
@@ -170,7 +227,7 @@ std::string Tracer::ToTraceEventJson() const {
     out += StrCat("  {\"name\": \"", JsonEscape(span.name), "\", \"cat\": \"",
                   JsonEscape(span.category), "\", \"ph\": \"X\", \"ts\": ",
                   span.begin_us, ", \"dur\": ", end - span.begin_us,
-                  ", \"pid\": 1, \"tid\": 1, \"args\": ",
+                  ", \"pid\": 1, \"tid\": ", span.tid, ", \"args\": ",
                   ArgsJson(span.attributes), "}");
   }
   for (const EventRecord& event : events_) {

@@ -41,6 +41,9 @@ struct SpanRecord {
   std::string category;
   int64_t begin_us = 0;
   int64_t end_us = -1;  ///< -1 while open
+  /// Lane in the trace_event export. 1 = the query (coordinator) thread;
+  /// spans merged from worker SpanBuffers carry the worker's lane.
+  int tid = 1;
   std::vector<std::pair<std::string, TraceValue>> attributes;
 
   bool closed() const { return end_us >= 0; }
@@ -57,10 +60,19 @@ struct EventRecord {
   std::vector<std::pair<std::string, TraceValue>> attributes;
 };
 
-/// Span-based tracer for the query lifecycle. Single-threaded, matching
-/// the engine. A disabled tracer (the default) records nothing and every
-/// call is a cheap early-out, so instrumentation can stay unconditionally
-/// in place on hot paths.
+class SpanBuffer;
+
+/// Span-based tracer for the query lifecycle. A disabled tracer (the
+/// default) records nothing and every call is a cheap early-out, so
+/// instrumentation can stay unconditionally in place on hot paths.
+///
+/// Thread-safety contract (enforced, not just assumed): every Tracer
+/// method must be called from the single coordinating thread. Worker
+/// threads never touch a Tracer — each records into its own SpanBuffer,
+/// and the coordinator merges the buffers with MergeSpanBuffer *after*
+/// the workers have quiesced at a barrier (see parallel::WorkerPool).
+/// That keeps the hot recording path lock-free on every thread while the
+/// exported trace still shows one lane (tid) per worker.
 ///
 /// Spans form a stack: BeginSpan parents the new span under the innermost
 /// open span. Export is Chrome trace_event JSON ("X" complete events, "i"
@@ -87,6 +99,13 @@ class Tracer {
   /// Records an instant event under the innermost open span.
   void AddEvent(std::string name, std::string category = "query",
                 std::vector<std::pair<std::string, TraceValue>> attributes = {});
+
+  /// Appends a worker's buffered spans. Buffered roots are parented under
+  /// the innermost open span; `tid` labels the worker's lane in the JSON
+  /// export. Must be called from the coordinating thread after the worker
+  /// has quiesced (a barrier) — never concurrently with the worker still
+  /// writing the buffer.
+  void MergeSpanBuffer(const SpanBuffer& buffer, int tid);
 
   const std::vector<SpanRecord>& spans() const { return spans_; }
   const std::vector<EventRecord>& events() const { return events_; }
@@ -145,6 +164,41 @@ class SpanScope {
  private:
   Tracer* tracer_;
   int span_id_ = -1;
+};
+
+/// Thread-confined span recorder for one worker thread. The worker-side
+/// half of the Tracer thread-safety contract: a worker records spans into
+/// its own buffer with no synchronization, and the coordinator folds the
+/// buffer into the Tracer with MergeSpanBuffer once the worker has passed
+/// a barrier. Timestamps are absolute steady_clock points, converted to
+/// the tracer's epoch at merge time.
+class SpanBuffer {
+ public:
+  struct BufferedSpan {
+    std::string name;
+    std::string category;
+    int parent = -1;  ///< index into the buffer, -1 for buffer roots
+    std::chrono::steady_clock::time_point begin;
+    std::chrono::steady_clock::time_point end;
+    bool closed = false;
+    std::vector<std::pair<std::string, TraceValue>> attributes;
+  };
+
+  /// Opens a span nested under this buffer's innermost open span (buffers
+  /// keep their own stack). Returns the buffer-local id.
+  int BeginSpan(std::string name, std::string category = "parallel");
+
+  /// Closes `span_id` and anything opened after it (mirrors Tracer).
+  void EndSpan(int span_id);
+
+  void SetAttribute(int span_id, std::string key, TraceValue value);
+
+  bool empty() const { return spans_.empty(); }
+  const std::vector<BufferedSpan>& spans() const { return spans_; }
+
+ private:
+  std::vector<BufferedSpan> spans_;
+  std::vector<int> open_stack_;
 };
 
 /// Escapes `s` for inclusion inside a JSON string literal.

@@ -1,0 +1,13 @@
+#include "parallel/morsel.h"
+
+#include "common/string_util.h"
+
+namespace starmagic {
+
+std::string ParallelStats::ToString() const {
+  return StrCat("tasks=", tasks, " morsels=", morsels,
+                " stolen=", morsels_stolen, " busy_us=", worker_busy_us,
+                " barrier_us=", barrier_wait_us);
+}
+
+}  // namespace starmagic

@@ -1,0 +1,66 @@
+#ifndef STARMAGIC_PARALLEL_MORSEL_H_
+#define STARMAGIC_PARALLEL_MORSEL_H_
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+namespace starmagic {
+
+/// Dynamic claim queue over the range [0, total) split into fixed-size
+/// morsels. Workers claim morsels with an atomic increment, so the
+/// *assignment* of morsels to workers is scheduling-dependent while the
+/// morsel boundaries themselves depend only on (total, morsel_size) —
+/// the property the executor relies on to keep partitioned results
+/// deterministic: per-morsel outputs concatenated in morsel order equal
+/// the sequential loop's output for any worker count.
+class MorselQueue {
+ public:
+  MorselQueue() = default;
+
+  void Reset(int64_t total, int64_t morsel_size) {
+    total_ = total;
+    morsel_size_ = std::max<int64_t>(1, morsel_size);
+    num_morsels_ = (total_ + morsel_size_ - 1) / morsel_size_;
+    next_.store(0, std::memory_order_relaxed);
+  }
+
+  /// Claims the next unclaimed morsel; false when the range is exhausted.
+  /// Thread-safe; morsels are handed out in increasing index order.
+  bool Next(int64_t* morsel, int64_t* begin, int64_t* end) {
+    int64_t m = next_.fetch_add(1, std::memory_order_relaxed);
+    if (m >= num_morsels_) return false;
+    *morsel = m;
+    *begin = m * morsel_size_;
+    *end = std::min(total_, *begin + morsel_size_);
+    return true;
+  }
+
+  int64_t num_morsels() const { return num_morsels_; }
+  int64_t total() const { return total_; }
+
+ private:
+  int64_t total_ = 0;
+  int64_t morsel_size_ = 1;
+  int64_t num_morsels_ = 0;
+  std::atomic<int64_t> next_{0};
+};
+
+/// Wall-clock-side counters for the parallel subsystem, surfaced as the
+/// `parallel.*` metrics. Deliberately separate from ExecStats: morsel
+/// counts and wait times depend on the thread count and scheduler, so they
+/// must never feed the deterministic work counters (`TotalWork()`).
+struct ParallelStats {
+  int64_t tasks = 0;            ///< parallel loops (barriers) executed
+  int64_t morsels = 0;          ///< morsels claimed across all loops
+  int64_t morsels_stolen = 0;   ///< morsels run by helpers, not worker 0
+  int64_t worker_busy_us = 0;   ///< summed per-worker active loop time
+  int64_t barrier_wait_us = 0;  ///< coordinator wait for helpers at barriers
+
+  std::string ToString() const;
+};
+
+}  // namespace starmagic
+
+#endif  // STARMAGIC_PARALLEL_MORSEL_H_
