@@ -3,6 +3,7 @@
 //
 //   .strategy original|correlated|magic   execution strategy for SELECTs
 //   .threads [n]                          worker threads for execution
+//   .limits [mem|time|rows|iters <n>|off] per-query resource budget
 //   .explain on|off                       print the optimized query graph
 //   .stats on|off                         print executor work counters
 //   .trace on <file.json>|off             record spans, write on off/exit
@@ -48,6 +49,7 @@ struct ShellState {
   MetricsRegistry metrics;
   std::string trace_file;
   int threads = 1;
+  ResourceBudget budget;  ///< applied to every SELECT/EXPLAIN of the session
 };
 
 void FlushTrace(ShellState* state) {
@@ -73,6 +75,7 @@ void RunStatement(ShellState* state, const std::string& sql) {
     options.tracer = &state->tracer;
     options.metrics = &state->metrics;
     options.num_threads = state->threads;
+    options.budget = state->budget;
     auto r = state->db.Query(sql, options);
     if (!r.ok()) {
       std::printf("error: %s\n", r.status().ToString().c_str());
@@ -101,6 +104,9 @@ bool RunDotCommand(ShellState* state, const std::string& line) {
     std::printf(
         ".strategy original|correlated|magic\n"
         ".threads [n]        worker threads for execution (1 = sequential)\n"
+        ".limits             show the session's per-query resource budget\n"
+        ".limits mem <bytes> | time <ms> | rows <n> | iters <n>   set one\n"
+        ".limits off         clear every limit\n"
         ".explain on|off\n"
         ".stats on|off\n.trace on <file.json>|off\n.metrics\n"
         ".history [n]        last n logged queries (all when omitted)\n"
@@ -123,6 +129,27 @@ bool RunDotCommand(ShellState* state, const std::string& line) {
       state->threads = n;
     }
     std::printf("threads = %d\n", state->threads);
+  } else if (cmd == ".limits") {
+    if (a == "off") {
+      state->budget = ResourceBudget::Unlimited();
+    } else if (!a.empty()) {
+      long long n = std::atoll(b.c_str());
+      if (b.empty() || n <= 0) {
+        std::printf(
+            "usage: .limits [mem <bytes> | time <ms> | rows <n> | "
+            "iters <n> | off]\n");
+        return true;
+      }
+      if (a == "mem") state->budget.max_memory_bytes = n;
+      else if (a == "time") state->budget.deadline_ms = static_cast<double>(n);
+      else if (a == "rows") state->budget.max_output_rows = n;
+      else if (a == "iters") state->budget.max_fixpoint_iterations = n;
+      else {
+        std::printf("unknown limit '%s' (mem|time|rows|iters)\n", a.c_str());
+        return true;
+      }
+    }
+    std::printf("limits = %s\n", state->budget.ToString().c_str());
   } else if (cmd == ".explain") {
     state->explain = a == "on";
     std::printf("explain = %s\n", state->explain ? "on" : "off");

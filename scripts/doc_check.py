@@ -1,0 +1,211 @@
+#!/usr/bin/env python3
+"""Keep the documentation honest: every checkable reference in docs/*.md
+and README.md must point at something that exists in the tree.
+
+Three reference kinds are extracted and verified:
+
+  * shell dot-commands (`.threads`, `.limits mem 1000000`, ...) — the
+    first token of any inline code span or fenced-code line that starts
+    with '.', checked against the dot-commands actually implemented in
+    examples/shell.cpp (its double-quoted string literals);
+  * STARMAGIC_* environment/CMake variables — checked against the
+    source tree (src/, bench/, scripts/, examples/, tests/, CMake
+    files);
+  * repo paths (src/..., bench/..., docs/..., scripts/, examples/,
+    tests/) — checked against the filesystem. Globs and placeholders
+    (`bench_*`, `TRACE_<name>.json`) are skipped: they name patterns,
+    not files.
+
+Usage:
+  doc_check.py              verify the repo's docs; exit 1 on any stale
+                            reference
+  doc_check.py --self-test  also inject one stale reference of each kind
+                            and assert the checker catches all three
+"""
+
+import os
+import re
+import sys
+
+ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+DOC_GLOBS = ["README.md"]
+DOC_DIR = "docs"
+
+# Directories whose mention in a doc is a checkable path reference.
+PATH_PREFIXES = ("src/", "bench/", "docs/", "scripts/", "examples/",
+                 "tests/")
+
+# The lookbehind keeps build-artifact paths (./build/examples/shell) and
+# other nested mentions from being mistaken for tree paths.
+PATH_RE = re.compile(
+    r"(?<![\w/])((?:src|bench|docs|scripts|examples|tests)"
+    r"/[A-Za-z0-9_.*<>{}/-]+)")
+ENV_RE = re.compile(r"\bSTARMAGIC_[A-Z_]+\b")
+CODE_SPAN_RE = re.compile(r"`([^`]+)`")
+DOT_CMD_RE = re.compile(r"^\.([a-z]+)\b")
+# Dot-commands inside shell.cpp string literals (".help", help text, ...).
+SHELL_LITERAL_RE = re.compile(r'"((?:[^"\\]|\\.)*)"')
+SHELL_CMD_RE = re.compile(r"(?<![\w/.])\.([a-z]+)")
+
+# Files scanned for STARMAGIC_* definitions/uses.
+SOURCE_SUFFIXES = (".h", ".cc", ".cpp", ".py", ".sh", ".txt", ".cmake")
+SOURCE_DIRS = ("src", "bench", "scripts", "examples", "tests")
+
+
+def doc_files():
+    files = [os.path.join(ROOT, f) for f in DOC_GLOBS]
+    doc_dir = os.path.join(ROOT, DOC_DIR)
+    for name in sorted(os.listdir(doc_dir)):
+        if name.endswith(".md"):
+            files.append(os.path.join(doc_dir, name))
+    return files
+
+
+def extract_dot_commands(text):
+    """Dot-commands a doc claims the shell understands: the first token
+    of an inline code span or a fenced-code line (after any 'magic> '
+    prompt) that starts with '.'."""
+    commands = set()
+    for span in CODE_SPAN_RE.findall(text):
+        m = DOT_CMD_RE.match(span.strip())
+        if m:
+            commands.add(m.group(1))
+    in_fence = False
+    for line in text.splitlines():
+        if line.lstrip().startswith("```"):
+            in_fence = not in_fence
+            continue
+        if not in_fence:
+            continue
+        stripped = line.strip()
+        stripped = re.sub(r"^(magic|\s*\.\.\.)>\s*", "", stripped)
+        m = DOT_CMD_RE.match(stripped)
+        if m:
+            commands.add(m.group(1))
+    return commands
+
+
+def extract_paths(text):
+    """Repo paths mentioned in a doc, with markdown/sentence punctuation
+    trimmed; globs and <placeholders> are skipped."""
+    paths = set()
+    for raw in PATH_RE.findall(text):
+        path = raw.rstrip(".,:;)`'\"")
+        if any(c in path for c in "*<>{}"):
+            continue
+        paths.add(path.rstrip("/"))
+    return paths
+
+
+def shell_commands():
+    """The dot-commands examples/shell.cpp actually implements, read
+    from its double-quoted string literals ('.help' text and the
+    cmd == \".quit\" comparisons alike)."""
+    shell_path = os.path.join(ROOT, "examples", "shell.cpp")
+    with open(shell_path, encoding="utf-8") as f:
+        source = f.read()
+    commands = set()
+    for literal in SHELL_LITERAL_RE.findall(source):
+        commands.update(SHELL_CMD_RE.findall(literal))
+    return commands
+
+
+def tree_env_vars():
+    """Every STARMAGIC_* token appearing in the source tree (including
+    CMakeLists, scripts, and tests)."""
+    found = set()
+    roots = [os.path.join(ROOT, d) for d in SOURCE_DIRS]
+    files = [os.path.join(ROOT, "CMakeLists.txt")]
+    for root in roots:
+        for dirpath, _, names in os.walk(root):
+            for name in names:
+                if name == "CMakeLists.txt" or name.endswith(SOURCE_SUFFIXES):
+                    files.append(os.path.join(dirpath, name))
+    for path in files:
+        try:
+            with open(path, encoding="utf-8") as f:
+                found.update(ENV_RE.findall(f.read()))
+        except (OSError, UnicodeDecodeError):
+            continue
+    return found
+
+
+def check_docs(docs, valid_commands, valid_env):
+    """Returns a list of 'file: problem' strings for `docs`, a list of
+    (display_name, text) pairs."""
+    problems = []
+    for name, text in docs:
+        for cmd in sorted(extract_dot_commands(text)):
+            if cmd not in valid_commands:
+                problems.append(
+                    f"{name}: shell command '.{cmd}' is not implemented "
+                    "in examples/shell.cpp")
+        for var in sorted(set(ENV_RE.findall(text))):
+            if var not in valid_env:
+                problems.append(
+                    f"{name}: environment variable '{var}' appears "
+                    "nowhere in the source tree")
+        for path in sorted(extract_paths(text)):
+            if not os.path.exists(os.path.join(ROOT, path)):
+                problems.append(f"{name}: path '{path}' does not exist")
+    return problems
+
+
+def self_test(valid_commands, valid_env):
+    """A doc referencing a removed command, variable, and file must
+    produce exactly three problems — proving the checker would catch
+    real drift, not just happen to pass today."""
+    # The variable name is assembled at runtime so this script's own
+    # source (scanned by tree_env_vars) never defines it.
+    stale_var = "STARMAGIC_" + "NONEXISTENT_KNOB"
+    stale_doc = (
+        f"Use `.frobnicate` after setting {stale_var}=1;\n"
+        "see src/no/such/file.cc for details.\n")
+    problems = check_docs([("<self-test>", stale_doc)], valid_commands,
+                          valid_env)
+    expected = 3
+    if len(problems) != expected:
+        print(f"self-test FAILED: expected {expected} problems, "
+              f"got {len(problems)}:", file=sys.stderr)
+        for p in problems:
+            print(f"  {p}", file=sys.stderr)
+        return False
+    print(f"self-test ok ({expected} injected stale references caught)")
+    return True
+
+
+def main():
+    run_self_test = "--self-test" in sys.argv[1:]
+
+    valid_commands = shell_commands()
+    valid_env = tree_env_vars()
+    if not valid_commands:
+        print("doc_check: no dot-commands found in examples/shell.cpp "
+              "(extraction broken?)", file=sys.stderr)
+        return 1
+
+    docs = []
+    checked_refs = 0
+    for path in doc_files():
+        with open(path, encoding="utf-8") as f:
+            text = f.read()
+        rel = os.path.relpath(path, ROOT)
+        docs.append((rel, text))
+        checked_refs += (len(extract_dot_commands(text))
+                         + len(set(ENV_RE.findall(text)))
+                         + len(extract_paths(text)))
+
+    problems = check_docs(docs, valid_commands, valid_env)
+    for p in problems:
+        print(f"STALE {p}", file=sys.stderr)
+    print(f"doc_check: {len(docs)} docs, {checked_refs} references, "
+          f"{len(problems)} stale")
+
+    if run_self_test and not self_test(valid_commands, valid_env):
+        return 1
+    return 1 if problems else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -45,6 +45,12 @@ int CompareRows(const Row& a, const Row& b) {
   return a.size() < b.size() ? -1 : 1;
 }
 
+int64_t RowBytes(const Row& row) {
+  int64_t bytes = static_cast<int64_t>(sizeof(Row));
+  for (const Value& v : row) bytes += v.MemoryBytes();
+  return bytes;
+}
+
 std::string RowToString(const Row& row) {
   std::vector<std::string> parts;
   parts.reserve(row.size());

@@ -26,6 +26,11 @@ int CompareRows(const Row& a, const Row& b);
 /// "(v1, v2, ...)" rendering for diagnostics.
 std::string RowToString(const Row& row);
 
+/// Approximate footprint of a row in bytes: the vector header plus every
+/// value's MemoryBytes. Content-based, so the governor's byte accounting
+/// is identical for identical data at any thread count.
+int64_t RowBytes(const Row& row);
+
 /// Functors for using Row as a hash-map key with grouping semantics.
 struct RowHash {
   size_t operator()(const Row& r) const { return HashRow(r); }

@@ -19,6 +19,12 @@ enum class StatusCode {
   kExecutionError,
   kNotSupported,
   kInternal,
+  // Resource-governor outcomes (see src/governor/): a query that ran out
+  // of budget, ran out of time, or was cancelled by its caller. These are
+  // clean aborts — all workers joined, no torn state — never crashes.
+  kResourceExhausted,
+  kDeadlineExceeded,
+  kCancelled,
 };
 
 /// Returns a short human-readable name for `code` ("ParseError", ...).
@@ -56,6 +62,15 @@ class Status {
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -87,6 +87,17 @@ class Value {
   /// Hash consistent with EqualsGrouping (numerics hash by double value).
   size_t Hash() const;
 
+  /// Approximate heap+inline footprint in bytes, used by the resource
+  /// governor's memory accounting. Content-based (string *size*, not
+  /// capacity) so identical data always charges identical bytes — the
+  /// governor's peak-bytes figure must not shift with allocator luck or
+  /// thread count.
+  int64_t MemoryBytes() const {
+    return static_cast<int64_t>(
+        sizeof(Value) +
+        (kind() == ValueKind::kString ? string_value().size() : 0));
+  }
+
   /// Literal-style rendering: NULL, TRUE, 42, 3.5, 'text'.
   std::string ToString() const;
 

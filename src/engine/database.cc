@@ -300,6 +300,30 @@ void RecordParallelMetrics(MetricsRegistry* metrics,
   metrics->counter("parallel.barrier_wait_us")->Add(stats.barrier_wait_us);
 }
 
+// Governor outcome counters. The abort reason is derived from the typed
+// Status the run returned, so the metrics agree with what the caller saw.
+void RecordGovernorMetrics(MetricsRegistry* metrics,
+                           const ResourceGovernor& governor,
+                           const Status& status) {
+  if (metrics == nullptr) return;
+  metrics->histogram("governor.peak_bytes")
+      ->Observe(static_cast<double>(governor.peak_bytes()));
+  metrics->counter("governor.cancel_checks")->Add(governor.cancel_checks());
+  switch (status.code()) {
+    case StatusCode::kCancelled:
+      metrics->counter("governor.aborts.cancelled")->Add(1);
+      break;
+    case StatusCode::kDeadlineExceeded:
+      metrics->counter("governor.aborts.deadline_exceeded")->Add(1);
+      break;
+    case StatusCode::kResourceExhausted:
+      metrics->counter("governor.aborts.resource_exhausted")->Add(1);
+      break;
+    default:
+      break;
+  }
+}
+
 // Histogram suffix for per-box-type Q-error accounting. Magic-role boxes
 // are bucketed together regardless of kind: their estimates come from the
 // EMST-specific magic-cardinality path, which is what we want to watch.
@@ -362,18 +386,30 @@ void RecordQErrors(const QueryGraph& graph, const Catalog* catalog,
 
 Result<QueryResult> Database::RunPipeline(PipelineResult pipeline,
                                           const QueryOptions& options,
-                                          bool collect_box_stats) {
+                                          bool collect_box_stats,
+                                          GovernorStats* governor_out) {
+  ResourceGovernor governor(options.budget, options.cancel_token);
   ExecOptions exec_options;
   exec_options.memoize_correlation =
       options.strategy != ExecutionStrategy::kCorrelated;
   exec_options.tracer = options.tracer;
   exec_options.collect_box_stats = collect_box_stats;
   exec_options.num_threads = options.num_threads;
+  exec_options.governor = &governor;
   Executor executor(pipeline.graph.get(), &catalog_, exec_options);
-  SM_ASSIGN_OR_RETURN(Table table, executor.Run());
+  // Not SM_ASSIGN_OR_RETURN: governor stats and abort metrics must be
+  // recorded for failing runs too — aborted queries are exactly the ones
+  // the governor dashboards exist for.
+  Result<Table> run = executor.Run();
   RecordParallelMetrics(options.metrics, executor.parallel_stats());
+  *governor_out = governor.Stats();
+  RecordGovernorMetrics(options.metrics, governor,
+                        run.ok() ? Status::OK() : run.status());
+  if (!run.ok()) return run.status();
+  Table table = std::move(*run);
 
   QueryResult result;
+  result.governor = *governor_out;
   result.table = std::move(table);
   result.exec_stats = executor.stats();
   result.cost_no_emst = pipeline.cost_no_emst;
@@ -426,7 +462,8 @@ std::string FormatMs(double ms) {
 }  // namespace
 
 Result<QueryResult> Database::RunExplain(const AstExplain& ex,
-                                         const QueryOptions& options) {
+                                         const QueryOptions& options,
+                                         GovernorStats* governor_out) {
   SM_ASSIGN_OR_RETURN(PipelineResult pipeline, OptimizeBlob(*ex.query, options));
 
   QueryResult result;
@@ -438,15 +475,23 @@ Result<QueryResult> Database::RunExplain(const AstExplain& ex,
 
   std::string warnings;
   if (ex.analyze) {
+    ResourceGovernor governor(options.budget, options.cancel_token);
     ExecOptions exec_options;
     exec_options.memoize_correlation =
         options.strategy != ExecutionStrategy::kCorrelated;
     exec_options.tracer = options.tracer;
     exec_options.collect_box_stats = true;
     exec_options.num_threads = options.num_threads;
+    exec_options.governor = &governor;
     Executor executor(pipeline.graph.get(), &catalog_, exec_options);
-    SM_ASSIGN_OR_RETURN(Table discarded, executor.Run());
+    Result<Table> run = executor.Run();
     RecordParallelMetrics(options.metrics, executor.parallel_stats());
+    *governor_out = governor.Stats();
+    RecordGovernorMetrics(options.metrics, governor,
+                          run.ok() ? Status::OK() : run.status());
+    if (!run.ok()) return run.status();
+    Table discarded = std::move(*run);
+    result.governor = *governor_out;
     result.exec_stats = executor.stats();
     result.box_stats = executor.box_stats();
     result.result_rows = discarded.num_rows();
@@ -492,6 +537,9 @@ Result<QueryResult> Database::RunExplain(const AstExplain& ex,
       });
   if (ex.analyze) {
     report += StrCat("exec: ", result.exec_stats.ToString(), "\n");
+    report += StrCat("governor: budget=", options.budget.ToString(),
+                     " peak_bytes=", result.governor.peak_bytes,
+                     " cancel_checks=", result.governor.cancel_checks, "\n");
     if (result.decision_audited) {
       report += StrCat("decision audit: ", result.decision_audit.ToString(),
                        "\n");
@@ -509,12 +557,13 @@ Result<QueryResult> Database::RunExplain(const AstExplain& ex,
 
 Result<QueryResult> Database::QueryInternal(const std::string& sql,
                                             const QueryOptions& options,
-                                            std::string* kind) {
+                                            std::string* kind,
+                                            GovernorStats* governor_out) {
   SM_ASSIGN_OR_RETURN(std::unique_ptr<AstStatement> stmt, ParseStatement(sql));
   if (stmt->kind == StatementKind::kExplain) {
     const auto& ex = static_cast<const AstExplain&>(*stmt);
     *kind = ex.analyze ? "explain-analyze" : "explain";
-    return RunExplain(ex, options);
+    return RunExplain(ex, options, governor_out);
   }
   if (stmt->kind != StatementKind::kSelect) {
     return Status::InvalidArgument(
@@ -524,14 +573,17 @@ Result<QueryResult> Database::QueryInternal(const std::string& sql,
   const auto& select = static_cast<const AstSelectStatement&>(*stmt);
   SM_ASSIGN_OR_RETURN(PipelineResult pipeline,
                       OptimizeBlob(*select.blob, options));
-  return RunPipeline(std::move(pipeline), options, /*collect_box_stats=*/false);
+  return RunPipeline(std::move(pipeline), options, /*collect_box_stats=*/false,
+                     governor_out);
 }
 
 Result<QueryResult> Database::Query(const std::string& sql,
                                     const QueryOptions& options) {
   auto start = std::chrono::steady_clock::now();
   std::string kind = "select";
-  Result<QueryResult> result = QueryInternal(sql, options, &kind);
+  GovernorStats governor_stats;
+  Result<QueryResult> result = QueryInternal(sql, options, &kind,
+                                             &governor_stats);
   auto end = std::chrono::steady_clock::now();
 
   QueryLogEntry entry;
@@ -540,6 +592,9 @@ Result<QueryResult> Database::Query(const std::string& sql,
   entry.strategy = StrategyName(options.strategy);
   entry.wall_ms =
       std::chrono::duration<double, std::milli>(end - start).count();
+  // Filled for failing runs too: an aborted query's peak memory is the
+  // first thing to look at when diagnosing a ResourceExhausted entry.
+  entry.peak_memory_bytes = governor_stats.peak_bytes;
   if (result.ok()) {
     const QueryResult& r = result.value();
     entry.cost_no_emst = r.cost_no_emst;

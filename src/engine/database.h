@@ -6,6 +6,7 @@
 
 #include "catalog/catalog.h"
 #include "exec/executor.h"
+#include "governor/governor.h"
 #include "obs/decision_audit.h"
 #include "obs/query_log.h"
 #include "optimizer/pipeline.h"
@@ -33,6 +34,15 @@ struct QueryOptions {
   /// ExecOptions::num_threads). 1 = sequential. Results and deterministic
   /// work counters are identical for any value.
   int num_threads = 1;
+  /// Resource limits for this query (0 fields = unlimited). A query over
+  /// any budget aborts cleanly with a typed Status: ResourceExhausted
+  /// (memory/iterations/rows), DeadlineExceeded, or Cancelled — identical
+  /// at any thread count. See docs/resource-governor.md.
+  ResourceBudget budget;
+  /// Optional cancellation flag; the caller may Cancel() from any thread
+  /// and the query aborts with StatusCode::kCancelled at its next
+  /// cooperative check. Not owned; must outlive the Query() call.
+  const CancellationToken* cancel_token = nullptr;
 
   QueryOptions() = default;
   explicit QueryOptions(ExecutionStrategy s) : strategy(s) {}
@@ -63,6 +73,10 @@ struct QueryResult {
   /// For EXPLAIN [ANALYZE] queries: the annotated plan text. The same text
   /// is returned as the rows of `table` (one line per row).
   std::string analyze_report;
+  /// Resource-governor outcome of the execution: peak accounted bytes and
+  /// cooperative-check count. Peak bytes are thread-count invariant for a
+  /// given query (see docs/resource-governor.md).
+  GovernorStats governor;
 };
 
 /// The public facade: an embedded relational engine with the Starburst
@@ -123,19 +137,24 @@ class Database {
   Result<PipelineResult> OptimizeBlob(const AstBlob& blob,
                                       const QueryOptions& options);
 
-  /// Executes an already-optimized pipeline result.
+  /// Executes an already-optimized pipeline result. *governor_out is
+  /// filled with the run's governor stats even when execution fails (the
+  /// query log records peak bytes for aborted queries too).
   Result<QueryResult> RunPipeline(PipelineResult pipeline,
                                   const QueryOptions& options,
-                                  bool collect_box_stats);
+                                  bool collect_box_stats,
+                                  GovernorStats* governor_out);
 
   /// EXPLAIN [ANALYZE]: builds the annotated-plan result.
   Result<QueryResult> RunExplain(const AstExplain& ex,
-                                 const QueryOptions& options);
+                                 const QueryOptions& options,
+                                 GovernorStats* governor_out);
 
   /// Query() minus the query-log bookkeeping; sets *kind for the log.
   Result<QueryResult> QueryInternal(const std::string& sql,
                                     const QueryOptions& options,
-                                    std::string* kind);
+                                    std::string* kind,
+                                    GovernorStats* governor_out);
 
   Catalog catalog_;
   QueryLog query_log_;

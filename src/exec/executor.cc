@@ -1,14 +1,29 @@
 #include "exec/executor.h"
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <functional>
 
 #include "common/string_util.h"
 #include "exec/aggregate.h"
 #include "exec/join.h"
+#include "governor/governor.h"
 
 namespace starmagic {
+
+namespace {
+
+// Governor charge for one joined row combination. Content-based (combo
+// arity only), so the charge for a step's combinations is identical
+// whether they were produced sequentially or by any number of workers —
+// the peak-bytes determinism contract depends on this.
+int64_t ComboBytes(const std::vector<const Row*>& combo) {
+  return static_cast<int64_t>(sizeof(std::vector<const Row*>) +
+                              combo.size() * sizeof(const Row*));
+}
+
+}  // namespace
 
 void ExecStats::MergeFrom(const ExecStats& other) {
   rows_scanned += other.rows_scanned;
@@ -41,7 +56,8 @@ Executor::Executor(QueryGraph* graph, const Catalog* catalog,
   }
   if (options_.num_threads > 1) {
     pool_ = std::make_unique<WorkerPool>(options_.num_threads,
-                                         options_.tracer);
+                                         options_.tracer,
+                                         options_.governor);
   }
 }
 
@@ -49,18 +65,33 @@ Status Executor::ParallelAppend(
     int64_t n,
     const std::function<Status(int64_t begin, int64_t end, ComboVec* out,
                                ExecStats* stats)>& body,
-    ComboVec* next) {
+    ComboVec* next, int64_t* charged_bytes) {
   const int64_t morsel_size = std::max<int64_t>(1, options_.morsel_size);
   const int64_t num_morsels = (n + morsel_size - 1) / morsel_size;
   std::vector<ComboVec> buffers(static_cast<size_t>(num_morsels));
   std::vector<ExecStats> worker_stats(
       static_cast<size_t>(pool_->num_threads()));
+  ResourceGovernor* gov = options_.governor;
+  std::atomic<int64_t> charged{0};
   Status status = pool_->ForEachMorsel(
       n, morsel_size,
       [&](int64_t morsel, int64_t begin, int64_t end, int worker) {
-        return body(begin, end, &buffers[static_cast<size_t>(morsel)],
-                    &worker_stats[static_cast<size_t>(worker)]);
+        ComboVec* out = &buffers[static_cast<size_t>(morsel)];
+        SM_RETURN_IF_ERROR(body(begin, end, out,
+                                &worker_stats[static_cast<size_t>(worker)]));
+        if (gov != nullptr) {
+          // Charge this morsel's buffer as it completes. Within the step
+          // reservations only grow and the per-combo charge is
+          // content-based, so the step's byte total — and thus the
+          // governor's peak — is identical at any thread count.
+          int64_t bytes = 0;
+          for (const auto& combo : *out) bytes += ComboBytes(combo);
+          charged.fetch_add(bytes, std::memory_order_relaxed);
+          SM_RETURN_IF_ERROR(gov->Reserve(bytes));
+        }
+        return Status::OK();
       });
+  *charged_bytes += charged.load(std::memory_order_relaxed);
   // Merge worker counters even on error, mirroring the partial counts a
   // failing sequential loop leaves behind (totals only matter on success).
   for (const ExecStats& ws : worker_stats) stats_.MergeFrom(ws);
@@ -235,6 +266,11 @@ Result<const Table*> Executor::EvalBox(Box* box, const RowEnv& env,
     }
     ++stats_.cache_misses;
     SM_ASSIGN_OR_RETURN(Table result, ComputeBox(box, env));
+    if (options_.governor != nullptr) {
+      // Cached results live until the executor dies; the charge is never
+      // released (the governor's lifetime matches the query's).
+      SM_RETURN_IF_ERROR(options_.governor->Reserve(TableBytes(result)));
+    }
     return &cache_.emplace(box->id(), std::move(result)).first->second;
   }
   if (options_.memoize_correlation) {
@@ -247,6 +283,10 @@ Result<const Table*> Executor::EvalBox(Box* box, const RowEnv& env,
     }
     ++stats_.cache_misses;
     SM_ASSIGN_OR_RETURN(Table result, ComputeBox(box, env));
+    if (options_.governor != nullptr) {
+      SM_RETURN_IF_ERROR(
+          options_.governor->Reserve(RowBytes(key) + TableBytes(result)));
+    }
     return &per_box.emplace(std::move(key), std::move(result)).first->second;
   }
   SM_ASSIGN_OR_RETURN(Table result, ComputeBox(box, env));
@@ -255,10 +295,24 @@ Result<const Table*> Executor::EvalBox(Box* box, const RowEnv& env,
 }
 
 Result<Table> Executor::ComputeBox(Box* box, const RowEnv& env) {
+  if (options_.governor != nullptr) {
+    // Cooperative cancellation point: every box materialization (including
+    // one per correlated binding and per fixpoint round) polls the
+    // governor, so sequential execution aborts at box granularity even
+    // when no worker pool exists.
+    SM_RETURN_IF_ERROR(options_.governor->CheckPoint());
+  }
   ++stats_.box_evaluations;
   const bool tracing =
       options_.tracer != nullptr && options_.tracer->enabled();
-  if (!options_.collect_box_stats && !tracing) return DispatchBox(box, env);
+  if (!options_.collect_box_stats && !tracing) {
+    Result<Table> result = DispatchBox(box, env);
+    if (result.ok() && options_.governor != nullptr) {
+      SM_RETURN_IF_ERROR(
+          options_.governor->CheckOutputRows(stats_.rows_produced));
+    }
+    return result;
+  }
 
   using Clock = std::chrono::steady_clock;
   BoxExecStats& bstats = box_stats_[box->id()];
@@ -284,6 +338,10 @@ Result<Table> Executor::ComputeBox(Box* box, const RowEnv& env) {
     span.SetAttribute("rows_out", result->num_rows());
     span.SetAttribute(
         "probes", stats_.join_probes + stats_.index_probes - probes_before);
+    if (options_.governor != nullptr) {
+      SM_RETURN_IF_ERROR(
+          options_.governor->CheckOutputRows(stats_.rows_produced));
+    }
   }
   return result;
 }
@@ -353,6 +411,16 @@ Result<Table> Executor::ComputeSelect(Box* box, const RowEnv& env) {
   std::vector<std::vector<const Row*>> current;
   current.emplace_back();
   std::vector<int> bound;  // quantifier ids, parallel to entries' positions
+
+  // Governor accounting for this box's transient join state. `current`
+  // combinations and arena rows stay charged while alive and are released
+  // on successful completion; on error the query aborts and the charges
+  // die with the governor. Releases happen only at coordinator points
+  // between parallel steps, which keeps peak bytes thread-count invariant.
+  ResourceGovernor* const gov = options_.governor;
+  const int64_t check_stride = std::max<int64_t>(1, options_.morsel_size);
+  int64_t current_bytes = 0;
+  int64_t arena_bytes = 0;
 
   std::set<int> seen;  // bound quantifier ids available to predicates
 
@@ -496,6 +564,8 @@ Result<Table> Executor::ComputeSelect(Box* box, const RowEnv& env) {
     };
 
     std::vector<std::vector<const Row*>> next;
+    int64_t next_bytes = 0;  // bytes charged for `next` (parallel paths)
+    int64_t step_build_bytes = 0;  // hash build table, released at step end
     bool step_done = false;
 
     // Index-nested-loop: when the input is a stored table with a usable
@@ -592,7 +662,7 @@ Result<Table> Executor::ComputeSelect(Box* box, const RowEnv& env) {
                     }
                     return Status::OK();
                   },
-                  &next));
+                  &next, &next_bytes));
             } else {
               std::vector<int> ids;
               for (const auto& combo : current) {
@@ -703,7 +773,7 @@ Result<Table> Executor::ComputeSelect(Box* box, const RowEnv& env) {
                     }
                     return Status::OK();
                   },
-                  &next));
+                  &next, &next_bytes));
             } else {
               std::vector<int> ids;
               for (const auto& combo : current) {
@@ -746,6 +816,13 @@ Result<Table> Executor::ComputeSelect(Box* box, const RowEnv& env) {
           }
           if (!keep) continue;
           arena.push_back(row);
+          if (gov != nullptr) {
+            // Charge the copied row only; the combination pointing at it
+            // is charged with the rest of `next` at the end of the step.
+            int64_t rb = RowBytes(arena.back());
+            arena_bytes += rb;
+            SM_RETURN_IF_ERROR(gov->Reserve(rb));
+          }
           auto combo2 = combo;
           combo2.push_back(&arena.back());
           next.push_back(std::move(combo2));
@@ -765,6 +842,11 @@ Result<Table> Executor::ComputeSelect(Box* box, const RowEnv& env) {
         for (const Row& row : scratch.rows()) arena.push_back(row);
         auto it = arena.end() - scratch.num_rows();
         for (; it != arena.end(); ++it) input_rows.push_back(&*it);
+        if (gov != nullptr) {
+          int64_t sb = TableBytes(scratch);
+          arena_bytes += sb;
+          SM_RETURN_IF_ERROR(gov->Reserve(sb));
+        }
       } else {
         input_rows.reserve(static_cast<size_t>(t->num_rows()));
         for (const Row& row : t->rows()) input_rows.push_back(&row);
@@ -774,6 +856,14 @@ Result<Table> Executor::ComputeSelect(Box* box, const RowEnv& env) {
       if (!hash_preds.empty()) {
         JoinHashTable table;
         table.Reserve(input_rows.size());
+        // The build side is charged in morsel-sized chunks so an
+        // over-budget build aborts mid-build, not after materializing the
+        // whole table. The build runs on the coordinator in input order,
+        // so the abort point — and the resulting Status — is identical at
+        // any thread count.
+        int64_t build_bytes = 0;
+        int64_t build_chunk = 0;
+        int64_t build_until_check = check_stride;
         for (size_t ri = 0; ri < input_rows.size(); ++ri) {
           Row key;
           key.reserve(hash_preds.size());
@@ -781,7 +871,20 @@ Result<Table> Executor::ComputeSelect(Box* box, const RowEnv& env) {
             key.push_back(
                 (*input_rows[ri])[static_cast<size_t>(hp.own_side->column_index)]);
           }
+          if (gov != nullptr) {
+            build_chunk += RowBytes(key) + static_cast<int64_t>(sizeof(int));
+            if (--build_until_check == 0) {
+              build_until_check = check_stride;
+              build_bytes += build_chunk;
+              SM_RETURN_IF_ERROR(gov->Reserve(build_chunk));
+              build_chunk = 0;
+            }
+          }
           table.Insert(std::move(key), static_cast<int>(ri));
+        }
+        if (gov != nullptr && build_chunk > 0) {
+          build_bytes += build_chunk;
+          SM_RETURN_IF_ERROR(gov->Reserve(build_chunk));
         }
         auto row_at = [&input_rows](int ri) {
           return input_rows[static_cast<size_t>(ri)];
@@ -805,7 +908,7 @@ Result<Table> Executor::ComputeSelect(Box* box, const RowEnv& env) {
                 }
                 return Status::OK();
               },
-              &next));
+              &next, &next_bytes));
         } else {
           for (const auto& combo : current) {
             RowEnv inner(&box_env);
@@ -816,6 +919,12 @@ Result<Table> Executor::ComputeSelect(Box* box, const RowEnv& env) {
                 probe_matches(combo, &inner, table, row_at, &next, &stats_));
           }
         }
+        // The build table dies with this step, but its bytes are held
+        // until the end-of-step coordinator point below: parallel probes
+        // charge output combos while the build table is live, so the
+        // sequential path must keep it charged until `next` is charged
+        // too, or peak bytes would differ by thread count.
+        step_build_bytes = build_bytes;
       } else {
         // Nested loop with all filters (filter-only steps and joins with
         // no usable equality).
@@ -866,7 +975,7 @@ Result<Table> Executor::ComputeSelect(Box* box, const RowEnv& env) {
                 }
                 return Status::OK();
               },
-              &next));
+              &next, &next_bytes));
         } else if (ShouldParallelize(num_input)) {
           // Partitioned scan: split the input rows (the common shape — a
           // base-table or box scan with predicate evaluation has a single
@@ -882,7 +991,7 @@ Result<Table> Executor::ComputeSelect(Box* box, const RowEnv& env) {
                   }
                   return scan_rows(combo, &inner, rb, re, out, stats);
                 },
-                &next));
+                &next, &next_bytes));
           }
         } else {
           for (const auto& combo : current) {
@@ -896,15 +1005,37 @@ Result<Table> Executor::ComputeSelect(Box* box, const RowEnv& env) {
         }
       }
     }
+    if (gov != nullptr) {
+      // Sequential paths charge their step output here in one lump; the
+      // parallel paths already charged the identical combos morsel by
+      // morsel (next_bytes > 0 exactly when some buffer was non-empty),
+      // so used-bytes at every step boundary is the same either way.
+      if (next_bytes == 0) {
+        for (const auto& combo : next) next_bytes += ComboBytes(combo);
+        SM_RETURN_IF_ERROR(gov->Reserve(next_bytes));
+      }
+      SM_RETURN_IF_ERROR(gov->CheckPoint());
+      gov->Release(current_bytes + step_build_bytes);
+    }
     bound.push_back(q->id);
     current = std::move(next);
+    current_bytes = next_bytes;
   }
 
   // Per-combination phase: scalar subqueries, E/A quantifiers, residual
   // predicates, projection.
   Table out(box->label(), Schema{});
   std::vector<Row> produced;
+  int64_t until_check = check_stride;
   for (const auto& combo : current) {
+    // The projection/E-A phase is a coordinator loop; poll the governor
+    // every morsel's worth of combinations so a cancel or deadline lands
+    // here too, not just at join steps. Countdown rather than modulo —
+    // this runs per output row, and a 64-bit division here is measurable.
+    if (gov != nullptr && --until_check == 0) {
+      until_check = check_stride;
+      SM_RETURN_IF_ERROR(gov->CheckPoint());
+    }
     RowEnv rowenv(&box_env);
     for (size_t i = 0; i < bound.size(); ++i) rowenv.Bind(bound[i], combo[i]);
 
@@ -1029,6 +1160,10 @@ Result<Table> Executor::ComputeSelect(Box* box, const RowEnv& env) {
   }
   stats_.rows_produced += static_cast<int64_t>(produced.size());
   out.mutable_rows() = std::move(produced);
+  // Successful completion: the join state (combos + arena) dies here, so
+  // return its bytes. Error paths above skip this — the query is aborting
+  // and its governor's ledger dies with it.
+  if (gov != nullptr) gov->Release(current_bytes + arena_bytes);
   return out;
 }
 
@@ -1250,6 +1385,7 @@ Status Executor::EnsureSccEvaluated(int scc_id) {
   int iterations = 0;
   std::vector<int> ordered = members;
   std::sort(ordered.begin(), ordered.end());
+  ResourceGovernor* const gov = options_.governor;
   while (changed) {
     changed = false;
     if (++iterations > options_.max_fixpoint_iterations) {
@@ -1258,6 +1394,19 @@ Status Executor::EnsureSccEvaluated(int scc_id) {
       return Status::ExecutionError("recursive fixpoint did not converge");
     }
     ++stats_.fixpoint_iterations;
+    if (gov != nullptr) {
+      // Governor round boundary: cancellation/deadline poll plus the
+      // fixpoint-iteration budget (cumulative across the query's SCCs).
+      Status gst = gov->CheckPoint();
+      if (gst.ok()) {
+        gst = gov->CheckFixpointIteration(stats_.fixpoint_iterations);
+      }
+      if (!gst.ok()) {
+        scc_in_progress_ = prev_in_progress;
+        scc_in_progress_id_ = prev_id;
+        return gst;
+      }
+    }
     for (int bid : ordered) {
       Box* b = graph_->GetBox(bid);
       Result<Table> next = ComputeBox(b, env);
@@ -1267,6 +1416,21 @@ Status Executor::EnsureSccEvaluated(int scc_id) {
         return next.status();
       }
       if (next->num_rows() != state.at(bid).num_rows()) changed = true;
+      if (gov != nullptr) {
+        // Swap the member's relation charge: new total in, old total out
+        // (reserve-then-release so the transient double-count is what a
+        // real copy would occupy). The charge survives convergence — the
+        // state tables move into the box-result cache below.
+        int64_t old_bytes = TableBytes(state.at(bid));
+        int64_t new_bytes = TableBytes(*next);
+        Status gst = gov->Reserve(new_bytes);
+        if (!gst.ok()) {
+          scc_in_progress_ = prev_in_progress;
+          scc_in_progress_id_ = prev_id;
+          return gst;
+        }
+        gov->Release(old_bytes);
+      }
       state.at(bid) = std::move(*next);
     }
   }

@@ -12,6 +12,7 @@
 #include "catalog/catalog.h"
 #include "exec/eval.h"
 #include "exec/join.h"
+#include "governor/governor.h"
 #include "obs/trace.h"
 #include "parallel/worker_pool.h"
 #include "qgm/graph.h"
@@ -50,6 +51,13 @@ struct ExecOptions {
   /// tables; the split is a function of input size only, never of the
   /// thread count, so results cannot shift with it.
   int64_t morsel_size = 2048;
+  /// Per-query resource governor (not owned, may outlive-the-run null).
+  /// When set, the executor charges every materialized allocation against
+  /// the governor's byte budget — join combination buffers, hash-join
+  /// build tables, box-result caches, fixpoint relations — and polls it
+  /// for cancellation/deadline at box entry, morsel boundaries, and each
+  /// fixpoint round. Null skips all accounting (zero overhead).
+  ResourceGovernor* governor = nullptr;
 };
 
 /// Deterministic work counters (machine-independent evidence for the
@@ -152,12 +160,15 @@ class Executor {
   /// concatenated into *next in morsel order (reproducing the sequential
   /// loop's row order exactly) and the stats are summed into stats_. The
   /// body must only read shared state — in particular it must not call
-  /// EvalBox (caches are coordinator-only).
+  /// EvalBox (caches are coordinator-only). When a governor is attached,
+  /// each morsel's buffer bytes are reserved worker-side as the morsel
+  /// completes and the total is added to *charged_bytes (the caller
+  /// releases them when the buffered combinations die).
   Status ParallelAppend(
       int64_t n,
       const std::function<Status(int64_t begin, int64_t end, ComboVec* out,
                                  ExecStats* stats)>& body,
-      ComboVec* next);
+      ComboVec* next, int64_t* charged_bytes);
 
   QueryGraph* graph_;
   const Catalog* catalog_;

@@ -39,6 +39,9 @@ std::string QueryLogEntry::ToString() const {
                   " C2=", FormatDouble(cost_with_emst),
                   " chosen=", emst_chosen ? "emst" : "no-emst");
   }
+  if (peak_memory_bytes > 0) {
+    out += StrCat(" peak_mem=", peak_memory_bytes);
+  }
   out += StrCat("\n    ", OneLineSql(sql), "\n");
   if (status != "ok") {
     out += StrCat("    status: ", status, "\n");

@@ -32,6 +32,10 @@ struct QueryLogEntry {
   int64_t total_work = 0;     ///< ExecStats::TotalWork of the execution
   int64_t rows = 0;           ///< rows the query produced
   double wall_ms = 0;         ///< end-to-end wall time of the Query() call
+  /// Peak bytes the resource governor accounted for this query (0 when
+  /// nothing was materialized). Recorded for failing runs too — the first
+  /// diagnostic for a ResourceExhausted entry.
+  int64_t peak_memory_bytes = 0;
   std::vector<QueryLogRuleFire> rule_fires;  ///< phase-tagged, fires > 0 only
 
   /// One-entry rendering (multi-line, newline-terminated).

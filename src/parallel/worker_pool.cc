@@ -4,6 +4,7 @@
 #include <chrono>
 
 #include "common/string_util.h"
+#include "governor/governor.h"
 
 namespace starmagic {
 
@@ -19,8 +20,11 @@ int64_t ElapsedUs(Clock::time_point since) {
 
 }  // namespace
 
-WorkerPool::WorkerPool(int num_threads, Tracer* tracer)
-    : num_threads_(std::max(1, num_threads)), tracer_(tracer) {
+WorkerPool::WorkerPool(int num_threads, Tracer* tracer,
+                       ResourceGovernor* governor)
+    : num_threads_(std::max(1, num_threads)),
+      tracer_(tracer),
+      governor_(governor) {
   helpers_.reserve(static_cast<size_t>(num_threads_ - 1));
   for (int w = 1; w < num_threads_; ++w) {
     helpers_.emplace_back([this, w] { HelperMain(w); });
@@ -70,7 +74,11 @@ void WorkerPool::RunLoop(int worker_id) {
   int64_t end = 0;
   while (queue_.Next(&morsel, &begin, &end)) {
     ++local_morsels;
-    Status status = (*fn_)(morsel, begin, end, worker_id);
+    // Cooperative cancellation point: poll the governor before starting
+    // each morsel so cancel/deadline aborts land at morsel granularity.
+    Status status =
+        governor_ != nullptr ? governor_->CheckPoint() : Status::OK();
+    if (status.ok()) status = (*fn_)(morsel, begin, end, worker_id);
     if (!status.ok()) {
       // Keep the error of the lowest-indexed failing morsel. Morsels are
       // claimed in increasing order, so every morsel below the recorded

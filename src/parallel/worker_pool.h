@@ -14,6 +14,8 @@
 
 namespace starmagic {
 
+class ResourceGovernor;
+
 /// A fixed pool of worker threads executing morsel-driven loops over row
 /// ranges. The constructing (coordinator) thread participates in every
 /// loop as worker 0; `num_threads - 1` helper threads are spawned up
@@ -39,7 +41,14 @@ class WorkerPool {
   /// Spawns `num_threads - 1` helpers (clamped to >= 1 total). `tracer`
   /// may be null; when tracing is enabled each loop records one span per
   /// participating worker (buffered per worker, merged at the barrier).
-  explicit WorkerPool(int num_threads, Tracer* tracer = nullptr);
+  /// `governor` may be null; when set, every worker polls
+  /// governor->CheckPoint() before each claimed morsel, so cancellation
+  /// and deadlines take effect at morsel granularity. A failed check is
+  /// recorded as that morsel's error — its message names only the
+  /// configured limit, so the surfaced Status is identical at any thread
+  /// count even though *which* morsel trips first is scheduling-dependent.
+  explicit WorkerPool(int num_threads, Tracer* tracer = nullptr,
+                      ResourceGovernor* governor = nullptr);
   ~WorkerPool();
 
   WorkerPool(const WorkerPool&) = delete;
@@ -65,6 +74,7 @@ class WorkerPool {
 
   const int num_threads_;
   Tracer* const tracer_;
+  ResourceGovernor* const governor_;
   ParallelStats stats_;
 
   std::mutex mu_;
