@@ -10,6 +10,7 @@
 //   .metrics                              dump the session metrics registry
 //   .history [n]                          show the last n logged queries
 //   .qerror                               per-box-type Q-error report
+//   .sys                                  list the sys.* system tables
 //   .import <table> <file.csv>            load CSV rows into a table
 //   .export <table> <file.csv>            dump a table to CSV
 //   .tables                               list tables and views
@@ -35,6 +36,7 @@
 #include "common/string_util.h"
 #include "engine/database.h"
 #include "qgm/printer.h"
+#include "sys/sys_render.h"
 
 using namespace starmagic;
 
@@ -61,6 +63,18 @@ void FlushTrace(ShellState* state) {
   } else {
     std::printf("error: %s\n", s.ToString().c_str());
   }
+}
+
+// Runs one canned introspection query over the sys.* schema. Internal:
+// it observes the session's metrics/log/budget without logging itself or
+// bumping any counter, so dot-commands never perturb what they report.
+Result<Table> SysQuery(ShellState* state, const std::string& sql) {
+  QueryOptions options;
+  options.internal = true;
+  options.metrics = &state->metrics;  // read source, never written
+  options.budget = state->budget;     // reported by sys.governor budget_*
+  SM_ASSIGN_OR_RETURN(QueryResult r, state->db.Query(sql, options));
+  return std::move(r.table);
 }
 
 void RunStatement(ShellState* state, const std::string& sql) {
@@ -111,6 +125,7 @@ bool RunDotCommand(ShellState* state, const std::string& line) {
         ".stats on|off\n.trace on <file.json>|off\n.metrics\n"
         ".history [n]        last n logged queries (all when omitted)\n"
         ".qerror             per-box-type Q-error report + stale stats\n"
+        ".sys                list the sys.* virtual system tables\n"
         ".import <table> <file.csv>\n"
         ".export <table> <file.csv>\n.tables\n.indexes\n.quit\n");
   } else if (cmd == ".strategy") {
@@ -149,7 +164,17 @@ bool RunDotCommand(ShellState* state, const std::string& line) {
         return true;
       }
     }
-    std::printf("limits = %s\n", state->budget.ToString().c_str());
+    // Render the effective budget by reading it back out of sys.governor
+    // (the canned query runs under this budget, so the budget_* rows are
+    // exactly the session limits just set).
+    auto t = SysQuery(state,
+                      "SELECT name, value FROM sys.governor "
+                      "WHERE name LIKE 'budget_%'");
+    if (!t.ok()) {
+      std::printf("error: %s\n", t.status().ToString().c_str());
+      return true;
+    }
+    std::printf("limits = %s\n", BudgetFromGovernorRows(*t).ToString().c_str());
   } else if (cmd == ".explain") {
     state->explain = a == "on";
     std::printf("explain = %s\n", state->explain ? "on" : "off");
@@ -179,19 +204,51 @@ bool RunDotCommand(ShellState* state, const std::string& line) {
       std::printf("usage: .trace on <file.json> | .trace off\n");
     }
   } else if (cmd == ".metrics") {
+    // Dogfooding: every introspection dot-command is a canned SQL query
+    // over the sys.* schema plus a renderer that reproduces the classic
+    // format byte-for-byte (tests/sys_test.cc pins the equivalence).
     std::printf("session: threads=%d\n", state->threads);
-    std::string dump = state->metrics.ToString();
+    auto t = SysQuery(state, "SELECT * FROM sys.metrics");
+    if (!t.ok()) {
+      std::printf("error: %s\n", t.status().ToString().c_str());
+      return true;
+    }
+    std::string dump = RenderMetricsDump(*t);
     std::printf("%s", dump.empty() ? "(no metrics recorded)\n" : dump.c_str());
   } else if (cmd == ".history") {
     int n = a.empty() ? -1 : std::atoi(a.c_str());
-    std::printf("%s", state->db.query_log()->Dump(n).c_str());
-  } else if (cmd == ".qerror") {
-    std::printf("%s", QErrorReport(state->metrics).c_str());
-    for (const std::string& name :
-         state->db.catalog()->StaleStatsTables()) {
-      std::printf("warning: statistics for '%s' are stale (run ANALYZE)\n",
-                  name.c_str());
+    auto t = SysQuery(state, "SELECT * FROM sys.query_log");
+    if (!t.ok()) {
+      std::printf("error: %s\n", t.status().ToString().c_str());
+      return true;
     }
+    std::printf("%s", RenderQueryLog(*t, n).c_str());
+  } else if (cmd == ".qerror") {
+    auto t = SysQuery(state,
+                      "SELECT * FROM sys.metrics "
+                      "WHERE kind = 'histogram' AND name LIKE 'qerror.%'");
+    auto stale = SysQuery(state,
+                          "SELECT name FROM sys.tables "
+                          "WHERE kind = 'table' AND stale = TRUE");
+    if (!t.ok() || !stale.ok()) {
+      const Status& s = t.ok() ? stale.status() : t.status();
+      std::printf("error: %s\n", s.ToString().c_str());
+      return true;
+    }
+    std::printf("%s", RenderQErrorReport(*t).c_str());
+    for (const Row& row : stale->rows()) {
+      std::printf("warning: statistics for '%s' are stale (run ANALYZE)\n",
+                  row[0].string_value().c_str());
+    }
+  } else if (cmd == ".sys") {
+    auto t = SysQuery(state,
+                      "SELECT table_name, name, type FROM sys.columns "
+                      "WHERE table_name LIKE 'sys.%'");
+    if (!t.ok()) {
+      std::printf("error: %s\n", t.status().ToString().c_str());
+      return true;
+    }
+    std::printf("%s", RenderSysList(*t).c_str());
   } else if (cmd == ".import" || cmd == ".export") {
     Table* table = state->db.catalog()->GetTable(a);
     if (table == nullptr) {

@@ -32,7 +32,7 @@ run_smoke_battery() {
   local dir="$1"
   mkdir -p "${dir}"
   cd "${dir}"
-  for bench in table1 index figure1 figure4 heuristic ablation recursive tpcd parallel governor; do
+  for bench in table1 index figure1 figure4 heuristic ablation recursive tpcd parallel governor systables; do
     echo "== bench_${bench} (smoke, $(basename "${dir}")) =="
     "${BUILD}/bench/bench_${bench}" > "out_${bench}.txt"
   done
@@ -68,15 +68,17 @@ done
 # ThreadSanitizer battery: a separate build tree (TSan and ASan cannot
 # coexist) covering the parallel subsystem — the worker-pool/determinism
 # tests, the governor's cross-thread accounting and cancellation paths,
-# plus a 4-thread smoke run of the parallel bench. Any data race fails
-# the run.
+# the sys.* snapshot battery (snapshot-at-scan-start sharing one
+# materialized table across parallel morsels), plus a 4-thread smoke run
+# of the parallel bench. Any data race fails the run.
 echo "== tsan: parallel subsystem =="
 TSAN_BUILD="${ROOT}/build-tsan"
 cmake -B "${TSAN_BUILD}" -S "${ROOT}" -DSTARMAGIC_SANITIZE=THREAD
-cmake --build "${TSAN_BUILD}" -j "$(nproc)" --target parallel_test governor_test bench_parallel
+cmake --build "${TSAN_BUILD}" -j "$(nproc)" --target parallel_test governor_test sys_test bench_parallel
 export TSAN_OPTIONS="halt_on_error=1"
 "${TSAN_BUILD}/tests/parallel_test"
 "${TSAN_BUILD}/tests/governor_test"
+"${TSAN_BUILD}/tests/sys_test"
 TSAN_DIR="${SMOKE_DIR}/tsan"
 mkdir -p "${TSAN_DIR}"
 cd "${TSAN_DIR}"

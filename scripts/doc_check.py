@@ -2,7 +2,7 @@
 """Keep the documentation honest: every checkable reference in docs/*.md
 and README.md must point at something that exists in the tree.
 
-Three reference kinds are extracted and verified:
+Four reference kinds are extracted and verified:
 
   * shell dot-commands (`.threads`, `.limits mem 1000000`, ...) — the
     first token of any inline code span or fenced-code line that starts
@@ -14,13 +14,18 @@ Three reference kinds are extracted and verified:
   * repo paths (src/..., bench/..., docs/..., scripts/, examples/,
     tests/) — checked against the filesystem. Globs and placeholders
     (`bench_*`, `TRACE_<name>.json`) are skipped: they name patterns,
-    not files.
+    not files;
+  * the sys.* system-table schema — the column tables in
+    docs/system-tables.md are reconciled BOTH WAYS against the
+    kSysSchemaSpec block in src/sys/system_tables.cc (the registry's
+    source of truth): every registry column must be documented with
+    its type, and every documented table/column must still exist.
 
 Usage:
   doc_check.py              verify the repo's docs; exit 1 on any stale
                             reference
   doc_check.py --self-test  also inject one stale reference of each kind
-                            and assert the checker catches all three
+                            and assert the checker catches all of them
 """
 
 import os
@@ -131,6 +136,96 @@ def tree_env_vars():
     return found
 
 
+# --- sys.* schema reconciliation -------------------------------------------
+
+SYS_SPEC_PATH = os.path.join("src", "sys", "system_tables.cc")
+SYS_DOC_PATH = os.path.join("docs", "system-tables.md")
+SYS_SPEC_RE = re.compile(r'"(sys\.\w+)\|(\w+)\|(\w+)"')
+SYS_HEADING_RE = re.compile(r"^## (sys\.\w+)\s*$")
+SYS_DOC_ROW_RE = re.compile(r"^\| `(\w+)` \| (\w+) \|")
+
+
+def sys_schema_spec():
+    """(table, column) -> type from the kSysSchemaSpec block in
+    src/sys/system_tables.cc (delimited by doc_check:sys-schema-begin/
+    end markers) — the registry builds its schemas from this block, so
+    it IS the live schema."""
+    path = os.path.join(ROOT, SYS_SPEC_PATH)
+    with open(path, encoding="utf-8") as f:
+        source = f.read()
+    begin = source.find("doc_check:sys-schema-begin")
+    end = source.find("doc_check:sys-schema-end")
+    if begin < 0 or end < 0 or end <= begin:
+        return {}
+    spec = {}
+    for table, column, col_type in SYS_SPEC_RE.findall(source[begin:end]):
+        spec[(table, column)] = col_type
+    return spec
+
+
+def parse_sys_doc(text):
+    """(table, column) -> type from the '## sys.<name>' column tables in
+    docs/system-tables.md. Only rows of the form '| `col` | TYPE |'
+    under a sys heading count, so prose mentions stay free-form."""
+    documented = {}
+    table = None
+    for line in text.splitlines():
+        heading = SYS_HEADING_RE.match(line)
+        if heading:
+            table = heading.group(1)
+            documented.setdefault(table, {})
+            continue
+        if line.startswith("## "):
+            table = None
+            continue
+        if table is None:
+            continue
+        # Header rows ('| column | type |') have no backticks, so only
+        # real '| `col` | TYPE |' rows match.
+        row = SYS_DOC_ROW_RE.match(line.strip())
+        if row:
+            documented[table][row.group(1)] = row.group(2)
+    return documented
+
+
+def check_sys_schema(spec, doc_text, name=SYS_DOC_PATH):
+    """Both directions: registry -> doc (nothing undocumented) and
+    doc -> registry (nothing stale)."""
+    problems = []
+    if not spec:
+        problems.append(
+            f"{SYS_SPEC_PATH}: kSysSchemaSpec block not found "
+            "(doc_check:sys-schema markers moved?)")
+        return problems
+    documented = parse_sys_doc(doc_text)
+    spec_tables = {t for t, _ in spec}
+    for table in sorted(spec_tables - set(documented)):
+        problems.append(f"{name}: system table '{table}' is in the "
+                        "registry but has no '## {0}' section".format(table))
+    for (table, column), col_type in sorted(spec.items()):
+        if table not in documented:
+            continue  # already reported above
+        doc_type = documented[table].get(column)
+        if doc_type is None:
+            problems.append(f"{name}: column '{table}.{column}' is in "
+                            "the registry but undocumented")
+        elif doc_type != col_type:
+            problems.append(f"{name}: column '{table}.{column}' is "
+                            f"documented as {doc_type} but the registry "
+                            f"says {col_type}")
+    for table, columns in sorted(documented.items()):
+        if table not in spec_tables:
+            problems.append(f"{name}: documented system table '{table}' "
+                            "is not in the registry")
+            continue
+        for column in sorted(columns):
+            if (table, column) not in spec:
+                problems.append(f"{name}: documented column "
+                                f"'{table}.{column}' is not in the "
+                                "registry")
+    return problems
+
+
 def check_docs(docs, valid_commands, valid_env):
     """Returns a list of 'file: problem' strings for `docs`, a list of
     (display_name, text) pairs."""
@@ -152,10 +247,13 @@ def check_docs(docs, valid_commands, valid_env):
     return problems
 
 
-def self_test(valid_commands, valid_env):
-    """A doc referencing a removed command, variable, and file must
-    produce exactly three problems — proving the checker would catch
-    real drift, not just happen to pass today."""
+def self_test(valid_commands, valid_env, spec, sys_doc_text):
+    """Injected drift of every kind must be caught — proving the
+    checker would catch real drift, not just happen to pass today.
+    Three generic stale references, plus four sys-schema mutations
+    applied to the real docs/system-tables.md text: a table the
+    registry doesn't have, a renamed column (caught from BOTH
+    directions), and a changed column type."""
     # The variable name is assembled at runtime so this script's own
     # source (scanned by tree_env_vars) never defines it.
     stale_var = "STARMAGIC_" + "NONEXISTENT_KNOB"
@@ -166,12 +264,33 @@ def self_test(valid_commands, valid_env):
                           valid_env)
     expected = 3
     if len(problems) != expected:
-        print(f"self-test FAILED: expected {expected} problems, "
+        print(f"self-test FAILED: expected {expected} generic problems, "
               f"got {len(problems)}:", file=sys.stderr)
         for p in problems:
             print(f"  {p}", file=sys.stderr)
         return False
-    print(f"self-test ok ({expected} injected stale references caught)")
+
+    stale_sys = sys_doc_text.replace(
+        "| `wall_us` | INTEGER |", "| `wall_millis` | INTEGER |")
+    stale_sys = stale_sys.replace("| `rule` | TEXT |", "| `rule` | BLOB |")
+    stale_sys += ("\n## sys.flux\n\n| column | type | description |\n"
+                  "|---|---|---|\n| `warp` | TEXT | bogus |\n")
+    for needle in ("wall_millis", "BLOB", "sys.flux"):
+        if needle not in stale_sys:
+            print(f"self-test FAILED: sys mutation '{needle}' did not "
+                  "apply (doc wording changed?)", file=sys.stderr)
+            return False
+    sys_problems = check_sys_schema(spec, stale_sys, name="<sys-self-test>")
+    sys_expected = 4  # wall_us undocumented, wall_millis unknown,
+    #                   rule type mismatch, sys.flux unknown table
+    if len(sys_problems) != sys_expected:
+        print(f"self-test FAILED: expected {sys_expected} sys-schema "
+              f"problems, got {len(sys_problems)}:", file=sys.stderr)
+        for p in sys_problems:
+            print(f"  {p}", file=sys.stderr)
+        return False
+    print(f"self-test ok ({expected + sys_expected} injected stale "
+          "references caught)")
     return True
 
 
@@ -197,12 +316,23 @@ def main():
                          + len(extract_paths(text)))
 
     problems = check_docs(docs, valid_commands, valid_env)
+
+    spec = sys_schema_spec()
+    sys_doc_text = ""
+    sys_doc_path = os.path.join(ROOT, SYS_DOC_PATH)
+    if os.path.exists(sys_doc_path):
+        with open(sys_doc_path, encoding="utf-8") as f:
+            sys_doc_text = f.read()
+    problems += check_sys_schema(spec, sys_doc_text)
+    checked_refs += len(spec)
+
     for p in problems:
         print(f"STALE {p}", file=sys.stderr)
     print(f"doc_check: {len(docs)} docs, {checked_refs} references, "
           f"{len(problems)} stale")
 
-    if run_self_test and not self_test(valid_commands, valid_env):
+    if run_self_test and not self_test(valid_commands, valid_env, spec,
+                                       sys_doc_text):
         return 1
     return 1 if problems else 0
 

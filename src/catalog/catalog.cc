@@ -1,12 +1,24 @@
 #include "catalog/catalog.h"
 
 #include "common/string_util.h"
+#include "sys/system_tables.h"
 
 namespace starmagic {
+
+namespace {
+
+// The typed error every write path returns for the reserved sys schema.
+Status SysReadOnly(const std::string& name) {
+  return Status::ReadOnly(
+      StrCat("relation '", name, "' is in the reserved read-only 'sys' schema"));
+}
+
+}  // namespace
 
 std::string Catalog::Key(const std::string& name) { return ToLower(name); }
 
 Status Catalog::CreateTable(const std::string& name, Schema schema) {
+  if (IsSysTableName(name)) return SysReadOnly(name);
   std::string key = Key(name);
   if (tables_.count(key) || views_.count(key)) {
     return Status::AlreadyExists(StrCat("relation '", name, "' already exists"));
@@ -16,6 +28,7 @@ Status Catalog::CreateTable(const std::string& name, Schema schema) {
 }
 
 Status Catalog::CreateView(ViewDefinition view) {
+  if (IsSysTableName(view.name)) return SysReadOnly(view.name);
   std::string key = Key(view.name);
   if (tables_.count(key) || views_.count(key)) {
     return Status::AlreadyExists(
@@ -26,6 +39,7 @@ Status Catalog::CreateView(ViewDefinition view) {
 }
 
 Status Catalog::DropTable(const std::string& name) {
+  if (IsSysTableName(name)) return SysReadOnly(name);
   std::string key = Key(name);
   if (tables_.erase(key) == 0) {
     return Status::NotFound(StrCat("table '", name, "' does not exist"));
@@ -37,6 +51,7 @@ Status Catalog::DropTable(const std::string& name) {
 }
 
 Status Catalog::DropView(const std::string& name) {
+  if (IsSysTableName(name)) return SysReadOnly(name);
   if (views_.erase(Key(name)) == 0) {
     return Status::NotFound(StrCat("view '", name, "' does not exist"));
   }
@@ -44,6 +59,9 @@ Status Catalog::DropView(const std::string& name) {
 }
 
 bool Catalog::HasTable(const std::string& name) const {
+  if (IsSysTableName(name)) {
+    return sys_registry_ != nullptr && sys_registry_->Find(name) != nullptr;
+  }
   return tables_.count(Key(name)) > 0;
 }
 
@@ -57,6 +75,13 @@ Table* Catalog::GetTable(const std::string& name) {
 }
 
 const Table* Catalog::GetTable(const std::string& name) const {
+  // The per-query snapshot overlay: read paths (builder, optimizer,
+  // executor) resolve sys.* names to snapshot tables, while the non-const
+  // overload — every write path — keeps returning nullptr for them.
+  if (IsSysTableName(name)) {
+    return sys_snapshot_ == nullptr ? nullptr
+                                    : sys_snapshot_->GetOrMaterialize(name);
+  }
   auto it = tables_.find(Key(name));
   return it == tables_.end() ? nullptr : it->second.get();
 }
@@ -84,6 +109,8 @@ Status Catalog::CreateIndex(const std::string& index_name,
                             const std::string& table_name,
                             const std::vector<std::string>& column_names,
                             IndexKind kind) {
+  if (IsSysTableName(index_name)) return SysReadOnly(index_name);
+  if (IsSysTableName(table_name)) return SysReadOnly(table_name);
   const Table* table = GetTable(table_name);
   if (table == nullptr) {
     return Status::NotFound(StrCat("table '", table_name, "' does not exist"));
@@ -151,6 +178,7 @@ Status Catalog::ReindexTable(const std::string& table_name) {
 }
 
 Status Catalog::AnalyzeTable(const std::string& name) {
+  if (IsSysTableName(name)) return SysReadOnly(name);
   Table* table = GetTable(name);
   if (table == nullptr) {
     return Status::NotFound(StrCat("table '", name, "' does not exist"));
@@ -191,6 +219,9 @@ int64_t Catalog::LastAnalyzeVersion(const std::string& name) const {
 }
 
 bool Catalog::StatsStale(const std::string& name) const {
+  // Virtual tables are rebuilt on every scan — their "statistics" (the
+  // snapshot row count) are never stale.
+  if (IsSysTableName(name)) return false;
   if (GetTable(name) == nullptr) return false;
   auto it = versions_.find(Key(name));
   if (it == versions_.end()) return true;  // never analyzed, never modified

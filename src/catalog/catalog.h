@@ -15,6 +15,9 @@
 
 namespace starmagic {
 
+class SystemTableRegistry;
+class SysSnapshot;
+
 /// A stored view definition. The body is kept as SQL text; the QGM builder
 /// parses and expands it at query-build time (Starburst likewise kept view
 /// definitions in QGM form and grafted them into queries).
@@ -113,6 +116,22 @@ class Catalog {
   /// Name-sorted list of tables whose statistics are stale.
   std::vector<std::string> StaleStatsTables() const;
 
+  // --- reserved `sys` schema (virtual system tables) -----------------------
+  /// Attaches the registry of virtual system tables. Once attached, names
+  /// with the "sys." prefix resolve against it (HasTable), DDL/DML against
+  /// them returns StatusCode::kReadOnly, and queries see them through the
+  /// per-query snapshot installed with SetSysSnapshot. May be null (detach).
+  void AttachSystemRegistry(const SystemTableRegistry* registry) {
+    sys_registry_ = registry;
+  }
+  const SystemTableRegistry* system_registry() const { return sys_registry_; }
+
+  /// Installs the per-query sys-table snapshot: while set, the const
+  /// GetTable overload resolves "sys.*" names to snapshot tables
+  /// (materialized on first scan — see SysSnapshot). The engine scopes
+  /// this to one Query() via SysSnapshotScope; null clears it.
+  void SetSysSnapshot(SysSnapshot* snapshot) { sys_snapshot_ = snapshot; }
+
  private:
   static std::string Key(const std::string& name);
 
@@ -132,6 +151,8 @@ class Catalog {
   std::map<std::string, TableStats> stats_;
   std::map<std::string, VersionInfo> versions_;
   IndexManager indexes_;
+  const SystemTableRegistry* sys_registry_ = nullptr;  ///< not owned
+  SysSnapshot* sys_snapshot_ = nullptr;  ///< not owned; per-query scope
 };
 
 }  // namespace starmagic

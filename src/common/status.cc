@@ -20,6 +20,8 @@ const char* StatusCodeName(StatusCode code) {
       return "ExecutionError";
     case StatusCode::kNotSupported:
       return "NotSupported";
+    case StatusCode::kReadOnly:
+      return "ReadOnly";
     case StatusCode::kInternal:
       return "Internal";
     case StatusCode::kResourceExhausted:

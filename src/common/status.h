@@ -18,6 +18,9 @@ enum class StatusCode {
   kSemanticError,
   kExecutionError,
   kNotSupported,
+  // DDL/DML against a read-only relation — today the reserved `sys.*`
+  // virtual system tables, which only the engine may populate.
+  kReadOnly,
   kInternal,
   // Resource-governor outcomes (see src/governor/): a query that ran out
   // of budget, ran out of time, or was cancelled by its caller. These are
@@ -59,6 +62,9 @@ class Status {
   }
   static Status NotSupported(std::string msg) {
     return Status(StatusCode::kNotSupported, std::move(msg));
+  }
+  static Status ReadOnly(std::string msg) {
+    return Status(StatusCode::kReadOnly, std::move(msg));
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
+#include <optional>
 #include <set>
 
 #include "common/string_util.h"
@@ -19,6 +21,14 @@ namespace {
 // Quantifier id used when evaluating UPDATE/DELETE expressions against a
 // single table row (no query graph involved).
 constexpr int kDmlQuantifier = 1;
+
+// DML against the reserved sys schema — the same typed error the catalog
+// returns for sys DDL, raised here because INSERT/UPDATE/DELETE would
+// otherwise report NotFound (the write-path GetTable ignores sys names).
+Status SysReadOnly(const std::string& name) {
+  return Status::ReadOnly(
+      StrCat("relation '", name, "' is in the reserved read-only 'sys' schema"));
+}
 
 // Lowers a (subquery-free) AST expression against `schema` into a QGM
 // expression whose column references target kDmlQuantifier.
@@ -135,6 +145,7 @@ Status Database::ExecuteStatement(const AstStatement& stmt) {
       return catalog_.DropIndex(static_cast<const AstDrop&>(stmt).name);
     case StatementKind::kInsert: {
       const auto& ins = static_cast<const AstInsert&>(stmt);
+      if (IsSysTableName(ins.table)) return SysReadOnly(ins.table);
       Table* table = catalog_.GetTable(ins.table);
       if (table == nullptr) {
         return Status::NotFound(StrCat("table '", ins.table, "' does not exist"));
@@ -147,6 +158,7 @@ Status Database::ExecuteStatement(const AstStatement& stmt) {
     }
     case StatementKind::kUpdate: {
       const auto& up = static_cast<const AstUpdate&>(stmt);
+      if (IsSysTableName(up.table)) return SysReadOnly(up.table);
       Table* table = catalog_.GetTable(up.table);
       if (table == nullptr) {
         return Status::NotFound(StrCat("table '", up.table, "' does not exist"));
@@ -194,6 +206,7 @@ Status Database::ExecuteStatement(const AstStatement& stmt) {
     }
     case StatementKind::kDelete: {
       const auto& del = static_cast<const AstDelete&>(stmt);
+      if (IsSysTableName(del.table)) return SysReadOnly(del.table);
       Table* table = catalog_.GetTable(del.table);
       if (table == nullptr) {
         return Status::NotFound(
@@ -264,13 +277,25 @@ Result<PipelineResult> Database::OptimizeBlob(const AstBlob& blob,
   PipelineOptions popts = options.pipeline;
   popts.strategy = options.strategy;
   if (options.tracer != nullptr) popts.tracer = options.tracer;
-  if (options.metrics != nullptr) popts.metrics = options.metrics;
+  // Internal introspection queries observe without perturbing: no metrics
+  // writes from any stage (the registry they are *reading*, usually).
+  if (options.metrics != nullptr && !options.internal) {
+    popts.metrics = options.metrics;
+  }
   return OptimizeQuery(std::move(graph), &catalog_, popts);
 }
 
 Result<PipelineResult> Database::Explain(const std::string& sql,
                                          const QueryOptions& options) {
   SM_ASSIGN_OR_RETURN(std::unique_ptr<AstBlob> blob, ParseQuery(sql));
+  // sys.* names resolve against a snapshot scoped to this call; the
+  // returned graph's sys base tables are gone once it returns, so callers
+  // executing the graph themselves must not reference sys tables.
+  SysSnapshot snapshot(catalog_.system_registry(), MakeSysState(options));
+  std::optional<SysSnapshotScope> scope;
+  if (catalog_.system_registry() != nullptr) {
+    scope.emplace(&catalog_, &snapshot);
+  }
   return OptimizeBlob(*blob, options);
 }
 
@@ -388,22 +413,29 @@ Result<QueryResult> Database::RunPipeline(PipelineResult pipeline,
                                           const QueryOptions& options,
                                           bool collect_box_stats,
                                           GovernorStats* governor_out) {
-  ResourceGovernor governor(options.budget, options.cancel_token);
+  // Internal introspection queries run unbudgeted (a tiny session row
+  // limit must not abort the dashboard displaying it) and write no
+  // metrics; sys.governor still *reports* options.budget.
+  ResourceGovernor governor(
+      options.internal ? ResourceBudget::Unlimited() : options.budget,
+      options.internal ? nullptr : options.cancel_token);
+  MetricsRegistry* metrics = options.internal ? nullptr : options.metrics;
   ExecOptions exec_options;
   exec_options.memoize_correlation =
       options.strategy != ExecutionStrategy::kCorrelated;
   exec_options.tracer = options.tracer;
   exec_options.collect_box_stats = collect_box_stats;
   exec_options.num_threads = options.num_threads;
+  exec_options.morsel_size = options.morsel_size;
   exec_options.governor = &governor;
   Executor executor(pipeline.graph.get(), &catalog_, exec_options);
   // Not SM_ASSIGN_OR_RETURN: governor stats and abort metrics must be
   // recorded for failing runs too — aborted queries are exactly the ones
   // the governor dashboards exist for.
   Result<Table> run = executor.Run();
-  RecordParallelMetrics(options.metrics, executor.parallel_stats());
+  RecordParallelMetrics(metrics, executor.parallel_stats());
   *governor_out = governor.Stats();
-  RecordGovernorMetrics(options.metrics, governor,
+  RecordGovernorMetrics(metrics, governor,
                         run.ok() ? Status::OK() : run.status());
   if (!run.ok()) return run.status();
   Table table = std::move(*run);
@@ -423,12 +455,12 @@ Result<QueryResult> Database::RunPipeline(PipelineResult pipeline,
   if (options.capture_plan_report) {
     result.plan_report = PrintGraph(*pipeline.graph);
   }
-  RecordExecMetrics(options.metrics, result.exec_stats, result.result_rows);
+  RecordExecMetrics(metrics, result.exec_stats, result.result_rows);
   if (result.emst_applied) {
     result.decision_audit = AuditPlanDecision(
         result.cost_no_emst, result.cost_with_emst, result.emst_chosen,
-        result.exec_stats.TotalWork(), options.mispredict_ratio,
-        options.metrics, options.tracer);
+        result.exec_stats.TotalWork(), options.mispredict_ratio, metrics,
+        options.tracer);
     result.decision_audited = true;
   }
   return result;
@@ -473,21 +505,25 @@ Result<QueryResult> Database::RunExplain(const AstExplain& ex,
   result.emst_chosen = pipeline.emst_chosen;
   result.rewrite_applications = pipeline.rewrite_applications;
 
+  MetricsRegistry* metrics = options.internal ? nullptr : options.metrics;
   std::string warnings;
   if (ex.analyze) {
-    ResourceGovernor governor(options.budget, options.cancel_token);
+    ResourceGovernor governor(
+        options.internal ? ResourceBudget::Unlimited() : options.budget,
+        options.internal ? nullptr : options.cancel_token);
     ExecOptions exec_options;
     exec_options.memoize_correlation =
         options.strategy != ExecutionStrategy::kCorrelated;
     exec_options.tracer = options.tracer;
     exec_options.collect_box_stats = true;
     exec_options.num_threads = options.num_threads;
+    exec_options.morsel_size = options.morsel_size;
     exec_options.governor = &governor;
     Executor executor(pipeline.graph.get(), &catalog_, exec_options);
     Result<Table> run = executor.Run();
-    RecordParallelMetrics(options.metrics, executor.parallel_stats());
+    RecordParallelMetrics(metrics, executor.parallel_stats());
     *governor_out = governor.Stats();
-    RecordGovernorMetrics(options.metrics, governor,
+    RecordGovernorMetrics(metrics, governor,
                           run.ok() ? Status::OK() : run.status());
     if (!run.ok()) return run.status();
     Table discarded = std::move(*run);
@@ -495,14 +531,14 @@ Result<QueryResult> Database::RunExplain(const AstExplain& ex,
     result.exec_stats = executor.stats();
     result.box_stats = executor.box_stats();
     result.result_rows = discarded.num_rows();
-    RecordExecMetrics(options.metrics, result.exec_stats, result.result_rows);
-    RecordQErrors(*pipeline.graph, &catalog_, result.box_stats,
-                  options.metrics, options.tracer, &warnings);
+    RecordExecMetrics(metrics, result.exec_stats, result.result_rows);
+    RecordQErrors(*pipeline.graph, &catalog_, result.box_stats, metrics,
+                  options.tracer, &warnings);
     if (result.emst_applied) {
       result.decision_audit = AuditPlanDecision(
           result.cost_no_emst, result.cost_with_emst, result.emst_chosen,
-          result.exec_stats.TotalWork(), options.mispredict_ratio,
-          options.metrics, options.tracer);
+          result.exec_stats.TotalWork(), options.mispredict_ratio, metrics,
+          options.tracer);
       result.decision_audited = true;
     }
   }
@@ -535,6 +571,32 @@ Result<QueryResult> Database::RunExplain(const AstExplain& ex,
                       " cache_hits=", b.cache_hits, " probes=", b.probes,
                       " time_ms=", FormatMs(b.wall_ms));
       });
+  // Retain this ANALYZE's per-box estimated-vs-actual rows for
+  // sys.box_stats (box-id order; internal queries never overwrite it).
+  if (ex.analyze && !options.internal) {
+    last_box_stats_.clear();
+    for (const Box* box : pipeline.graph->boxes()) {
+      SysBoxStatRow row;
+      row.box_id = box->id();
+      row.kind = BoxKindName(box->kind());
+      row.label = box->label();
+      row.est_rows = estimator.Estimate(box).rows;
+      auto it = result.box_stats.find(box->id());
+      if (it != result.box_stats.end()) {
+        row.act_rows = it->second.rows_out;
+        row.evaluations = it->second.evaluations;
+        row.cache_hits = it->second.cache_hits;
+        row.probes = it->second.probes;
+        row.wall_ms = it->second.wall_ms;
+      }
+      last_box_stats_.push_back(std::move(row));
+    }
+    std::sort(last_box_stats_.begin(), last_box_stats_.end(),
+              [](const SysBoxStatRow& a, const SysBoxStatRow& b) {
+                return a.box_id < b.box_id;
+              });
+  }
+
   if (ex.analyze) {
     report += StrCat("exec: ", result.exec_stats.ToString(), "\n");
     report += StrCat("governor: budget=", options.budget.ToString(),
@@ -582,9 +644,22 @@ Result<QueryResult> Database::Query(const std::string& sql,
   auto start = std::chrono::steady_clock::now();
   std::string kind = "select";
   GovernorStats governor_stats;
-  Result<QueryResult> result = QueryInternal(sql, options, &kind,
-                                             &governor_stats);
+  Result<QueryResult> result = [&]() -> Result<QueryResult> {
+    // Per-query sys.* snapshot: each referenced system table materializes
+    // once, at its first scan, from live engine state. The scope ends (and
+    // the snapshot dies) before the query-log record below — so a query
+    // over sys.query_log sees every *prior* query but never itself.
+    SysSnapshot snapshot(catalog_.system_registry(), MakeSysState(options));
+    std::optional<SysSnapshotScope> scope;
+    if (catalog_.system_registry() != nullptr) {
+      scope.emplace(&catalog_, &snapshot);
+    }
+    return QueryInternal(sql, options, &kind, &governor_stats);
+  }();
   auto end = std::chrono::steady_clock::now();
+  // Internal introspection queries observe without perturbing the very
+  // state they read: no query-log entry, no metrics (gated upstream).
+  if (options.internal) return result;
 
   QueryLogEntry entry;
   entry.sql = sql;
@@ -605,12 +680,62 @@ Result<QueryResult> Database::Query(const std::string& sql,
     entry.rows = r.result_rows;
     for (const RuleFireStats& f : r.rule_fires) {
       if (f.fires > 0) entry.rule_fires.push_back({f.phase, f.rule, f.fires});
+      // Cumulative per-rule totals for sys.rewrite_rules, aggregated
+      // across phases (kept Database-side rather than as metrics counters:
+      // wall_ms is wall-clock-side and must stay out of the deterministic
+      // counter namespace).
+      SysRuleStats& totals = rewrite_totals_[f.rule];
+      totals.fires += f.fires;
+      totals.attempts += f.attempts;
+      totals.wall_ms += f.wall_ms;
     }
   } else {
     entry.status = result.status().ToString();
   }
   query_log_.Record(std::move(entry));
   return result;
+}
+
+SysEngineState Database::MakeSysState(const QueryOptions& options) const {
+  SysEngineState state;
+  state.catalog = &catalog_;
+  state.query_log = &query_log_;
+  state.metrics = options.metrics;
+  state.registry = &sys_registry_;
+  state.budget = options.budget;
+  state.box_stats = &last_box_stats_;
+  state.rewrite_rules = &rewrite_totals_;
+  // Lazy: only a query that actually scans sys.settings pays for this.
+  // QueryOptions is captured by value (it holds plain fields + borrowed
+  // pointers), so the closure outlives the options reference.
+  QueryOptions opts = options;
+  state.settings_fn = [opts]() {
+    std::vector<SysSettingRow> rows;
+    auto add = [&rows](const char* name, std::string value,
+                       const char* source) {
+      rows.push_back({name, std::move(value), source});
+    };
+    add("capture_plan_report", opts.capture_plan_report ? "true" : "false",
+        "QueryOptions");
+    add("internal", opts.internal ? "true" : "false", "QueryOptions");
+    add("metrics_attached", opts.metrics != nullptr ? "true" : "false",
+        "QueryOptions");
+    add("mispredict_ratio", FormatDouble(opts.mispredict_ratio),
+        "QueryOptions");
+    add("morsel_size", StrCat(opts.morsel_size), "QueryOptions");
+    add("num_threads", StrCat(opts.num_threads), "QueryOptions");
+    add("strategy", StrategyName(opts.strategy), "QueryOptions");
+    add("tracer_attached",
+        opts.tracer != nullptr && opts.tracer->enabled() ? "true" : "false",
+        "QueryOptions");
+    for (const char* name :
+         {"STARMAGIC_BENCH_SMOKE", "STARMAGIC_THREADS", "STARMAGIC_TRACE"}) {
+      const char* v = std::getenv(name);
+      add(name, v == nullptr ? "(unset)" : v, "env");
+    }
+    return rows;
+  };
+  return state;
 }
 
 }  // namespace starmagic

@@ -10,6 +10,7 @@
 #include "obs/decision_audit.h"
 #include "obs/query_log.h"
 #include "optimizer/pipeline.h"
+#include "sys/system_tables.h"
 
 namespace starmagic {
 
@@ -43,6 +44,16 @@ struct QueryOptions {
   /// and the query aborts with StatusCode::kCancelled at its next
   /// cooperative check. Not owned; must outlive the Query() call.
   const CancellationToken* cancel_token = nullptr;
+  /// Rows per morsel for the parallel loops (see ExecOptions::morsel_size).
+  /// Tests shrink it to exercise parallel paths on small (e.g. sys.*)
+  /// tables; results are identical for any value.
+  int64_t morsel_size = 2048;
+  /// Marks an engine-internal introspection query (the shell's canned
+  /// sys.* queries behind dot-commands). Internal queries observe without
+  /// perturbing: they are not recorded in the query log, write no metrics,
+  /// and run with an unlimited governor budget (sys.governor still reports
+  /// `budget` — the budget being *displayed*, not enforced on the display).
+  bool internal = false;
 
   QueryOptions() = default;
   explicit QueryOptions(ExecutionStrategy s) : strategy(s) {}
@@ -89,7 +100,7 @@ struct QueryResult {
 ///                          QueryOptions(ExecutionStrategy::kMagic));
 class Database {
  public:
-  Database() = default;
+  Database() { catalog_.AttachSystemRegistry(&sys_registry_); }
   Database(const Database&) = delete;
   Database& operator=(const Database&) = delete;
 
@@ -129,6 +140,18 @@ class Database {
   QueryLog* query_log() { return &query_log_; }
   const QueryLog* query_log() const { return &query_log_; }
 
+  /// The virtual sys.* tables this database serves. Queries resolve
+  /// "sys.<table>" names against it through a per-query snapshot: each
+  /// Query() materializes every referenced sys table once, at its first
+  /// scan, from live engine state (snapshot-at-scan-start — internally
+  /// consistent, deterministic under parallel execution, and charged to
+  /// the query's governor like any other scan). DDL/DML against sys.*
+  /// returns StatusCode::kReadOnly. Extensions may Register additional
+  /// tables. Detach entirely (benchmarks measuring the registry's absence)
+  /// with catalog()->AttachSystemRegistry(nullptr).
+  SystemTableRegistry* system_tables() { return &sys_registry_; }
+  const SystemTableRegistry* system_tables() const { return &sys_registry_; }
+
  private:
   Status ExecuteStatement(const AstStatement& stmt);
 
@@ -156,8 +179,22 @@ class Database {
                                     std::string* kind,
                                     GovernorStats* governor_out);
 
+  /// The engine state a sys.* snapshot for this query may read. `options`
+  /// feeds sys.settings (lazily) and sys.governor's budget_* rows.
+  SysEngineState MakeSysState(const QueryOptions& options) const;
+
   Catalog catalog_;
   QueryLog query_log_;
+  SystemTableRegistry sys_registry_;
+  /// Per-box stats of the last successful EXPLAIN ANALYZE, retained for
+  /// sys.box_stats so plan quality stays queryable after the fact.
+  std::vector<SysBoxStatRow> last_box_stats_;
+  /// Cumulative per-rule rewrite fire/attempt/wall-time totals across all
+  /// (non-internal) queries, keyed by rule name — the rows of
+  /// sys.rewrite_rules. Database-side so the table works without an
+  /// attached MetricsRegistry and so the nondeterministic wall times stay
+  /// out of the deterministic counter namespace.
+  std::map<std::string, SysRuleStats> rewrite_totals_;
 };
 
 }  // namespace starmagic

@@ -9,6 +9,7 @@
 #include "exec/aggregate.h"
 #include "exec/join.h"
 #include "governor/governor.h"
+#include "sys/system_tables.h"
 
 namespace starmagic {
 
@@ -252,6 +253,16 @@ Result<const Table*> Executor::EvalBox(Box* box, const RowEnv& env,
     if (table == nullptr) {
       return Status::ExecutionError(
           StrCat("stored table '", box->table_name(), "' does not exist"));
+    }
+    // sys.* scans resolve to per-query snapshot tables materialized by the
+    // catalog overlay on first access (snapshot-at-scan-start). Stored
+    // tables pre-exist the query and are never charged, but a snapshot is
+    // query-local state, so its bytes are charged once — at the
+    // coordinator (EvalBox is coordinator-only), hence deterministically —
+    // and held to end of query like the snapshot itself.
+    if (options_.governor != nullptr && IsSysTableName(box->table_name()) &&
+        charged_sys_tables_.insert(ToLower(box->table_name())).second) {
+      SM_RETURN_IF_ERROR(options_.governor->Reserve(TableBytes(*table)));
     }
     return table;
   }

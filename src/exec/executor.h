@@ -177,6 +177,11 @@ class Executor {
   std::map<int, BoxExecStats> box_stats_;
   std::unique_ptr<WorkerPool> pool_;  ///< null when num_threads == 1
 
+  /// sys.* snapshot tables already charged to the governor (lower-case
+  /// names). Snapshots are query-local state: their bytes are reserved
+  /// once, at first scan, and held until the query ends.
+  std::set<std::string> charged_sys_tables_;
+
   std::map<int, Table> cache_;  ///< uncorrelated results, keyed by box id
   std::map<int, std::unordered_map<Row, Table, RowHash, RowEq>> corr_cache_;
   std::map<int, std::vector<std::pair<int, int>>> ext_refs_;

@@ -98,6 +98,20 @@ class Parser {
     return Advance().text;
   }
 
+  /// A possibly schema-qualified relation name: `ident` or `ident.ident`
+  /// (one level — enough for the reserved `sys` schema). The dotted form
+  /// is returned joined ("sys.metrics"), matching catalog keys.
+  Result<std::string> ParseQualifiedName(const char* what) {
+    SM_ASSIGN_OR_RETURN(std::string name, ExpectIdentifier(what));
+    if (Peek().type == TokenType::kDot &&
+        Peek(1).type == TokenType::kIdentifier) {
+      Advance();  // '.'
+      name += '.';
+      name += Advance().text;
+    }
+    return name;
+  }
+
   Result<std::unique_ptr<AstStatement>> ParseOneStatement() {
     if (CheckKeyword("SELECT")) {
       auto stmt = std::make_unique<AstSelectStatement>();
@@ -111,7 +125,9 @@ class Parser {
     if (ConsumeKeyword("DROP")) return ParseDrop();
     if (ConsumeKeyword("ANALYZE")) {
       auto stmt = std::make_unique<AstAnalyze>();
-      if (Peek().type == TokenType::kIdentifier) stmt->table = Advance().text;
+      if (Peek().type == TokenType::kIdentifier) {
+        SM_ASSIGN_OR_RETURN(stmt->table, ParseQualifiedName("table name"));
+      }
       return std::unique_ptr<AstStatement>(std::move(stmt));
     }
     if (ConsumeKeyword("EXPLAIN")) {
@@ -128,7 +144,7 @@ class Parser {
   Result<std::unique_ptr<AstStatement>> ParseCreate() {
     if (ConsumeKeyword("TABLE")) {
       auto stmt = std::make_unique<AstCreateTable>();
-      SM_ASSIGN_OR_RETURN(stmt->name, ExpectIdentifier("table name"));
+      SM_ASSIGN_OR_RETURN(stmt->name, ParseQualifiedName("table name"));
       SM_RETURN_IF_ERROR(Expect(TokenType::kLParen, "'('"));
       do {
         SM_ASSIGN_OR_RETURN(std::string col, ExpectIdentifier("column name"));
@@ -140,9 +156,9 @@ class Parser {
     }
     if (ConsumeKeyword("INDEX")) {
       auto stmt = std::make_unique<AstCreateIndex>();
-      SM_ASSIGN_OR_RETURN(stmt->name, ExpectIdentifier("index name"));
+      SM_ASSIGN_OR_RETURN(stmt->name, ParseQualifiedName("index name"));
       SM_RETURN_IF_ERROR(ExpectKeyword("ON"));
-      SM_ASSIGN_OR_RETURN(stmt->table, ExpectIdentifier("table name"));
+      SM_ASSIGN_OR_RETURN(stmt->table, ParseQualifiedName("table name"));
       SM_RETURN_IF_ERROR(Expect(TokenType::kLParen, "'('"));
       do {
         SM_ASSIGN_OR_RETURN(std::string col, ExpectIdentifier("column name"));
@@ -164,7 +180,7 @@ class Parser {
     if (ConsumeKeyword("VIEW")) {
       auto stmt = std::make_unique<AstCreateView>();
       stmt->recursive = recursive;
-      SM_ASSIGN_OR_RETURN(stmt->name, ExpectIdentifier("view name"));
+      SM_ASSIGN_OR_RETURN(stmt->name, ParseQualifiedName("view name"));
       if (ConsumeIf(TokenType::kLParen)) {
         do {
           SM_ASSIGN_OR_RETURN(std::string col, ExpectIdentifier("column name"));
@@ -200,7 +216,7 @@ class Parser {
   Result<std::unique_ptr<AstStatement>> ParseInsert() {
     SM_RETURN_IF_ERROR(ExpectKeyword("INTO"));
     auto stmt = std::make_unique<AstInsert>();
-    SM_ASSIGN_OR_RETURN(stmt->table, ExpectIdentifier("table name"));
+    SM_ASSIGN_OR_RETURN(stmt->table, ParseQualifiedName("table name"));
     SM_RETURN_IF_ERROR(ExpectKeyword("VALUES"));
     do {
       SM_RETURN_IF_ERROR(Expect(TokenType::kLParen, "'('"));
@@ -217,7 +233,7 @@ class Parser {
 
   Result<std::unique_ptr<AstStatement>> ParseUpdate() {
     auto stmt = std::make_unique<AstUpdate>();
-    SM_ASSIGN_OR_RETURN(stmt->table, ExpectIdentifier("table name"));
+    SM_ASSIGN_OR_RETURN(stmt->table, ParseQualifiedName("table name"));
     SM_RETURN_IF_ERROR(ExpectKeyword("SET"));
     do {
       SM_ASSIGN_OR_RETURN(std::string col, ExpectIdentifier("column name"));
@@ -235,7 +251,7 @@ class Parser {
   Result<std::unique_ptr<AstStatement>> ParseDelete() {
     SM_RETURN_IF_ERROR(ExpectKeyword("FROM"));
     auto stmt = std::make_unique<AstDelete>();
-    SM_ASSIGN_OR_RETURN(stmt->table, ExpectIdentifier("table name"));
+    SM_ASSIGN_OR_RETURN(stmt->table, ParseQualifiedName("table name"));
     if (ConsumeKeyword("WHERE")) {
       SM_ASSIGN_OR_RETURN(stmt->where, ParseExpr());
     }
@@ -245,17 +261,17 @@ class Parser {
   Result<std::unique_ptr<AstStatement>> ParseDrop() {
     if (ConsumeKeyword("TABLE")) {
       auto stmt = std::make_unique<AstDrop>(StatementKind::kDropTable);
-      SM_ASSIGN_OR_RETURN(stmt->name, ExpectIdentifier("table name"));
+      SM_ASSIGN_OR_RETURN(stmt->name, ParseQualifiedName("table name"));
       return std::unique_ptr<AstStatement>(std::move(stmt));
     }
     if (ConsumeKeyword("VIEW")) {
       auto stmt = std::make_unique<AstDrop>(StatementKind::kDropView);
-      SM_ASSIGN_OR_RETURN(stmt->name, ExpectIdentifier("view name"));
+      SM_ASSIGN_OR_RETURN(stmt->name, ParseQualifiedName("view name"));
       return std::unique_ptr<AstStatement>(std::move(stmt));
     }
     if (ConsumeKeyword("INDEX")) {
       auto stmt = std::make_unique<AstDrop>(StatementKind::kDropIndex);
-      SM_ASSIGN_OR_RETURN(stmt->name, ExpectIdentifier("index name"));
+      SM_ASSIGN_OR_RETURN(stmt->name, ParseQualifiedName("index name"));
       return std::unique_ptr<AstStatement>(std::move(stmt));
     }
     return Status::ParseError(StrCat(
@@ -443,7 +459,7 @@ class Parser {
       SM_ASSIGN_OR_RETURN(ref.alias, ExpectIdentifier("derived table alias"));
       return ref;
     }
-    SM_ASSIGN_OR_RETURN(ref.table_name, ExpectIdentifier("table name"));
+    SM_ASSIGN_OR_RETURN(ref.table_name, ParseQualifiedName("table name"));
     if (ConsumeKeyword("AS")) {
       SM_ASSIGN_OR_RETURN(ref.alias, ExpectIdentifier("table alias"));
     } else if (Peek().type == TokenType::kIdentifier) {

@@ -1,0 +1,159 @@
+#include "sys/sys_render.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "common/string_util.h"
+#include "obs/query_log.h"
+
+namespace starmagic {
+
+namespace {
+
+// Column accessors resolved by name so the renderers survive reordered
+// projections. Missing columns / NULLs fall back to zero values.
+int Col(const Table& t, const char* name) {
+  return t.schema().FindColumn(name);
+}
+
+int64_t IntAt(const Row& row, int col) {
+  if (col < 0) return 0;
+  const Value& v = row[static_cast<size_t>(col)];
+  return v.kind() == ValueKind::kInt ? v.int_value() : 0;
+}
+
+double DoubleAt(const Row& row, int col) {
+  if (col < 0) return 0;
+  const Value& v = row[static_cast<size_t>(col)];
+  return v.is_numeric() ? v.AsDouble() : 0;
+}
+
+bool BoolAt(const Row& row, int col) {
+  if (col < 0) return false;
+  const Value& v = row[static_cast<size_t>(col)];
+  return v.kind() == ValueKind::kBool && v.bool_value();
+}
+
+std::string StringAt(const Row& row, int col) {
+  if (col < 0) return "";
+  const Value& v = row[static_cast<size_t>(col)];
+  return v.kind() == ValueKind::kString ? v.string_value() : "";
+}
+
+// One metrics-dump line — the counter "name value" form or the histogram
+// "name count=... sum=..." form, matching MetricsRegistry::ToString and
+// Histogram::ToString byte for byte (the stored doubles round-trip, so
+// FormatDouble reproduces the original rendering).
+std::string MetricsLine(const Table& t, const Row& row) {
+  std::string name = StringAt(row, Col(t, "name"));
+  if (StringAt(row, Col(t, "kind")) == "counter") {
+    return StrCat(name, " ", IntAt(row, Col(t, "value")), "\n");
+  }
+  return StrCat(name, " count=", IntAt(row, Col(t, "value")),
+                " sum=", FormatDouble(DoubleAt(row, Col(t, "sum"))),
+                " min=", FormatDouble(DoubleAt(row, Col(t, "min"))),
+                " max=", FormatDouble(DoubleAt(row, Col(t, "max"))),
+                " mean=", FormatDouble(DoubleAt(row, Col(t, "mean"))),
+                " p50=", FormatDouble(DoubleAt(row, Col(t, "p50"))),
+                " p95=", FormatDouble(DoubleAt(row, Col(t, "p95"))),
+                " p99=", FormatDouble(DoubleAt(row, Col(t, "p99"))), "\n");
+}
+
+}  // namespace
+
+std::string RenderMetricsDump(const Table& metrics) {
+  std::string out;
+  for (const Row& row : metrics.rows()) out += MetricsLine(metrics, row);
+  return out;
+}
+
+std::string RenderQueryLog(const Table& query_log, int n) {
+  const std::vector<Row>& rows = query_log.rows();
+  size_t keep = n <= 0 ? rows.size()
+                       : std::min(rows.size(), static_cast<size_t>(n));
+  std::string out;
+  for (size_t i = rows.size() - keep; i < rows.size(); ++i) {
+    const Row& row = rows[i];
+    QueryLogEntry e;
+    e.id = IntAt(row, Col(query_log, "id"));
+    e.sql = StringAt(row, Col(query_log, "sql"));
+    e.kind = StringAt(row, Col(query_log, "kind"));
+    e.strategy = StringAt(row, Col(query_log, "strategy"));
+    e.status = StringAt(row, Col(query_log, "status"));
+    e.cost_no_emst = DoubleAt(row, Col(query_log, "cost_no_emst"));
+    e.cost_with_emst = DoubleAt(row, Col(query_log, "cost_with_emst"));
+    e.emst_applied = BoolAt(row, Col(query_log, "emst_applied"));
+    e.emst_chosen = BoolAt(row, Col(query_log, "emst_chosen"));
+    e.total_work = IntAt(row, Col(query_log, "total_work"));
+    e.rows = IntAt(row, Col(query_log, "rows"));
+    e.wall_ms = DoubleAt(row, Col(query_log, "wall_ms"));
+    e.peak_memory_bytes = IntAt(row, Col(query_log, "peak_memory_bytes"));
+    // "phase/rule=N phase/rule=N ..." back into structured fires.
+    std::string fires = StringAt(row, Col(query_log, "rule_fires"));
+    size_t start = 0;
+    while (start < fires.size()) {
+      size_t end = fires.find(' ', start);
+      if (end == std::string::npos) end = fires.size();
+      std::string token = fires.substr(start, end - start);
+      size_t slash = token.find('/');
+      size_t eq = token.rfind('=');
+      if (slash != std::string::npos && eq != std::string::npos && slash < eq) {
+        e.rule_fires.push_back(
+            {token.substr(0, slash), token.substr(slash + 1, eq - slash - 1),
+             std::atoll(token.c_str() + eq + 1)});
+      }
+      start = end + 1;
+    }
+    out += e.ToString();
+  }
+  if (out.empty()) out = "(query log empty)\n";
+  return out;
+}
+
+std::string RenderQErrorReport(const Table& qerror_metrics) {
+  std::string out = RenderMetricsDump(qerror_metrics);
+  if (out.empty()) out = "(no q-error data recorded)\n";
+  return out;
+}
+
+ResourceBudget BudgetFromGovernorRows(const Table& governor) {
+  ResourceBudget budget;
+  int name_col = Col(governor, "name");
+  int value_col = Col(governor, "value");
+  for (const Row& row : governor.rows()) {
+    std::string name = StringAt(row, name_col);
+    int64_t value = IntAt(row, value_col);
+    if (name == "budget_max_memory_bytes") budget.max_memory_bytes = value;
+    if (name == "budget_deadline_ms") {
+      budget.deadline_ms = static_cast<double>(value);
+    }
+    if (name == "budget_max_fixpoint_iterations") {
+      budget.max_fixpoint_iterations = value;
+    }
+    if (name == "budget_max_output_rows") budget.max_output_rows = value;
+  }
+  return budget;
+}
+
+std::string RenderSysList(const Table& sys_columns) {
+  int table_col = Col(sys_columns, "table_name");
+  int name_col = Col(sys_columns, "name");
+  int type_col = Col(sys_columns, "type");
+  std::string out;
+  std::string current;
+  for (const Row& row : sys_columns.rows()) {
+    std::string table = StringAt(row, table_col);
+    if (table != current) {
+      if (!current.empty()) out += ")\n";
+      out += StrCat(table, "(");
+      current = table;
+    } else {
+      out += ", ";
+    }
+    out += StrCat(StringAt(row, name_col), " ", StringAt(row, type_col));
+  }
+  if (!current.empty()) out += ")\n";
+  return out;
+}
+
+}  // namespace starmagic

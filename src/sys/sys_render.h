@@ -1,0 +1,45 @@
+#ifndef STARMAGIC_SYS_SYS_RENDER_H_
+#define STARMAGIC_SYS_SYS_RENDER_H_
+
+#include <string>
+
+#include "catalog/table.h"
+#include "governor/governor.h"
+
+namespace starmagic {
+
+/// Renderers that turn sys.* query results back into the classic shell
+/// text formats. The shell's dot-commands are thin wrappers: one canned
+/// SQL query over the sys schema plus one of these — the same bytes the
+/// pre-sys bespoke formatters produced, but with a single source of rows.
+///
+/// Each renderer takes the full-width result of "SELECT * FROM sys.<t>"
+/// (columns resolved by name, so projections that keep all columns in any
+/// order also work).
+
+/// MetricsRegistry::ToString from sys.metrics rows: "name value" per
+/// counter then "name count=... sum=..." per histogram (input order kept —
+/// the table is emitted counters-first, name-sorted, exactly like the
+/// registry dump).
+std::string RenderMetricsDump(const Table& metrics);
+
+/// QueryLog::Dump(n) from sys.query_log rows (oldest-first input): the
+/// most recent `n` entries rendered via QueryLogEntry::ToString, or all of
+/// them when n <= 0. "(query log empty)\n" when there are none.
+std::string RenderQueryLog(const Table& query_log, int n = -1);
+
+/// QErrorReport from sys.metrics rows already filtered to the qerror.*
+/// histograms. "(no q-error data recorded)\n" when empty.
+std::string RenderQErrorReport(const Table& qerror_metrics);
+
+/// Rebuilds the observing query's budget from sys.governor's budget_*
+/// rows (for ".limits" — rendered via ResourceBudget::ToString).
+ResourceBudget BudgetFromGovernorRows(const Table& governor);
+
+/// ".sys" listing from sys.columns rows filtered to the system tables:
+/// one "sys.<table>(col TYPE, ...)" line per table, name-sorted.
+std::string RenderSysList(const Table& sys_columns);
+
+}  // namespace starmagic
+
+#endif  // STARMAGIC_SYS_SYS_RENDER_H_
