@@ -11,6 +11,8 @@
 //   .history [n]                          show the last n logged queries
 //   .qerror                               per-box-type Q-error report
 //   .sys                                  list the sys.* system tables
+//   .progress                             show in-flight queries
+//   .serve [port]|off                     HTTP observability endpoint
 //   .import <table> <file.csv>            load CSV rows into a table
 //   .export <table> <file.csv>            dump a table to CSV
 //   .tables                               list tables and views
@@ -19,6 +21,10 @@
 //
 // `EXPLAIN <query>;` and `EXPLAIN ANALYZE <query>;` are regular statements:
 // they print the (annotated) plan instead of the query rows.
+//
+// Setting STARMAGIC_OBS_PORT=<port> starts the HTTP observability server
+// (GET /metrics, /healthz, /sys/<table> — see docs/metrics-export.md) at
+// launch, same as `.serve <port>`.
 //
 // Example session:
 //   echo "CREATE TABLE t (a INTEGER); INSERT INTO t VALUES (1),(2);
@@ -29,12 +35,15 @@
 #include <cstdio>
 #include <cstdlib>
 #include <iostream>
+#include <memory>
 #include <sstream>
 #include <string>
 
 #include "catalog/table_io.h"
 #include "common/string_util.h"
 #include "engine/database.h"
+#include "net/obs_server.h"
+#include "obs/exporter.h"
 #include "qgm/printer.h"
 #include "sys/sys_render.h"
 
@@ -52,7 +61,29 @@ struct ShellState {
   std::string trace_file;
   int threads = 1;
   ResourceBudget budget;  ///< applied to every SELECT/EXPLAIN of the session
+  /// `.serve` HTTP observability server; constructed lazily on first start
+  /// so plain sessions never open a socket.
+  std::unique_ptr<obs::ObsServer> server;
 };
+
+void StartServer(ShellState* state, int port) {
+  if (state->server != nullptr && state->server->running()) {
+    std::printf("server already running on http://127.0.0.1:%d/ "
+                "(.serve off first)\n",
+                state->server->port());
+    return;
+  }
+  state->server = std::make_unique<obs::ObsServer>(
+      obs::MakeObsEndpoints(&state->db, &state->metrics));
+  Status s = state->server->Start(port);
+  if (!s.ok()) {
+    std::printf("error: %s\n", s.ToString().c_str());
+    state->server.reset();
+    return;
+  }
+  std::printf("serving http://127.0.0.1:%d/metrics (.serve off to stop)\n",
+              state->server->port());
+}
 
 void FlushTrace(ShellState* state) {
   if (state->trace_file.empty()) return;
@@ -126,6 +157,9 @@ bool RunDotCommand(ShellState* state, const std::string& line) {
         ".history [n]        last n logged queries (all when omitted)\n"
         ".qerror             per-box-type Q-error report + stale stats\n"
         ".sys                list the sys.* virtual system tables\n"
+        ".progress           in-flight queries (sys.active_queries)\n"
+        ".serve [port]       HTTP observability server (0/blank = ephemeral)\n"
+        ".serve off          stop the server\n"
         ".import <table> <file.csv>\n"
         ".export <table> <file.csv>\n.tables\n.indexes\n.quit\n");
   } else if (cmd == ".strategy") {
@@ -249,6 +283,41 @@ bool RunDotCommand(ShellState* state, const std::string& line) {
       return true;
     }
     std::printf("%s", RenderSysList(*t).c_str());
+  } else if (cmd == ".progress") {
+    // Canned query like every other introspection command. The observer is
+    // internal and thus not registered, so an idle session shows nothing —
+    // the interesting use is a second client (or HTTP scrape) watching a
+    // long-running query.
+    auto t = SysQuery(state,
+                      "SELECT id, sql, phase, morsels_done, morsels_total, "
+                      "rows_produced, fixpoint_round, elapsed_us "
+                      "FROM sys.active_queries");
+    if (!t.ok()) {
+      std::printf("error: %s\n", t.status().ToString().c_str());
+      return true;
+    }
+    if (t->num_rows() == 0) {
+      std::printf("(no active queries)\n");
+    } else {
+      std::printf("%s", t->ToString(50).c_str());
+    }
+  } else if (cmd == ".serve") {
+    if (a == "off") {
+      if (state->server != nullptr && state->server->running()) {
+        state->server->Stop();
+        std::printf("server stopped\n");
+      } else {
+        std::printf("(server not running)\n");
+      }
+      state->server.reset();
+    } else {
+      int port = a.empty() ? 0 : std::atoi(a.c_str());
+      if (port < 0 || port > 65535 || (port == 0 && !a.empty() && a != "0")) {
+        std::printf("usage: .serve [port] | .serve off\n");
+        return true;
+      }
+      StartServer(state, port);
+    }
   } else if (cmd == ".import" || cmd == ".export") {
     Table* table = state->db.catalog()->GetTable(a);
     if (table == nullptr) {
@@ -286,6 +355,9 @@ bool RunDotCommand(ShellState* state, const std::string& line) {
 
 int main() {
   ShellState state;
+  if (const char* env = std::getenv("STARMAGIC_OBS_PORT")) {
+    StartServer(&state, std::atoi(env));
+  }
   bool tty = isatty(0);
   if (tty) {
     std::printf("starmagic shell — SQL with the magic-sets optimizer.\n"

@@ -17,6 +17,14 @@ Usage:
       (bench, workload, strategy). `total_work` is deterministic, so any
       increase beyond --threshold percent (default 0) is a regression and
       the exit code is 1. Wall times are machine-noisy and only reported.
+
+  bench_report.py --summary DIR
+      Consolidate DIR's per-bench files into DIR/BENCH_summary.json:
+      one headline entry per bench (scale, smoke, sample/workload counts,
+      summed deterministic work, summed wall time) plus the git SHA the
+      numbers were taken at. The emitted file is validated like any other
+      report (validate_file recognizes the summary schema), and load_dir
+      skips it so a summarized directory still diffs cleanly.
 """
 
 import argparse
@@ -24,9 +32,12 @@ import glob
 import json
 import os
 import re
+import subprocess
 import sys
 
 SCHEMA_VERSION = 1
+
+SUMMARY_BASENAME = "BENCH_summary.json"
 
 
 def fail(path, message):
@@ -56,6 +67,8 @@ def validate_file(path):
         return fail(path, f"unreadable or invalid JSON: {e}")
     if not isinstance(doc, dict):
         return fail(path, "top level must be an object")
+    if doc.get("summary") is True:
+        return validate_summary(path, doc)
     if doc.get("schema_version") != SCHEMA_VERSION:
         return fail(path, f"schema_version must be {SCHEMA_VERSION}, "
                           f"got {doc.get('schema_version')!r}")
@@ -89,6 +102,8 @@ def validate_file(path):
     if not check_governor_overhead(path, samples, doc["smoke"]):
         return False
     if not check_registry_overhead(path, samples, doc["smoke"]):
+        return False
+    if not check_progress_overhead(path, samples, doc["smoke"]):
         return False
     print(f"{path}: ok ({doc['bench']}, {len(samples)} samples, "
           f"scale={doc['scale']}, smoke={doc['smoke']})")
@@ -201,11 +216,134 @@ def check_registry_overhead(path, samples, smoke):
     return ok
 
 
+def check_progress_overhead(path, samples, smoke):
+    """Samples that only differ in the 'progress=off' / 'progress=on'
+    strategy (bench_systables) must report identical total_work and
+    rows — a live-progress tracker that is attached but never scraped may
+    not change what any query computes — and the tracked wall time may
+    exceed the untracked one by at most 1%. As with the registry gate,
+    the wall comparison is informational at smoke scale and applies only
+    to single-thread cells ('..._t1'); multi-thread cells are gated by
+    the bench binary, which knows the machine's hardware concurrency.
+    The work/rows identity fails at every scale and every thread count."""
+    by_workload = {}
+    for s in samples:
+        if s["strategy"] in ("progress=off", "progress=on"):
+            by_workload.setdefault(s["workload"], {})[s["strategy"]] = s
+    ok = True
+    for workload, pair in sorted(by_workload.items()):
+        if len(pair) != 2:
+            ok = fail(path, f"workload '{workload}': need both progress=off "
+                            "and progress=on samples to compare")
+            continue
+        off, on = pair["progress=off"], pair["progress=on"]
+        for field in ("total_work", "rows"):
+            if off[field] != on[field]:
+                ok = fail(path, f"workload '{workload}': {field} changes "
+                                f"with progress tracking attached "
+                                f"({off[field]} vs {on[field]})")
+        multi_threaded = re.search(r"_t(\d+)$", workload) is not None and \
+            not workload.endswith("_t1")
+        if off["wall_ms"] > 0 and not multi_threaded:
+            overhead = (on["wall_ms"] - off["wall_ms"]) / off["wall_ms"]
+            if overhead > 0.01:
+                msg = (f"workload '{workload}': progress-tracking overhead "
+                       f"{overhead * 100:.1f}% exceeds the 1% budget")
+                if smoke:
+                    print(f"{path}: note: {msg} (informational at smoke "
+                          "scale)")
+                else:
+                    ok = fail(path, msg)
+    return ok
+
+
+def validate_summary(path, doc):
+    """Schema check for BENCH_summary.json (see summarize)."""
+    if doc.get("schema_version") != SCHEMA_VERSION:
+        return fail(path, f"schema_version must be {SCHEMA_VERSION}, "
+                          f"got {doc.get('schema_version')!r}")
+    if not check_field(path, doc, "git_sha", str, "top level"):
+        return False
+    benches = doc.get("benches")
+    if not isinstance(benches, dict) or not benches:
+        return fail(path, "'benches' must be a non-empty object")
+    for bench, entry in benches.items():
+        where = f"benches['{bench}']"
+        if not isinstance(entry, dict):
+            return fail(path, f"{where} must be an object")
+        if not isinstance(entry.get("smoke"), bool):
+            return fail(path, f"'smoke' in {where} must be a boolean")
+        for field in ("scale", "samples", "workloads", "total_work"):
+            if not isinstance(entry.get(field), int) \
+                    or isinstance(entry.get(field), bool) \
+                    or entry[field] < 0:
+                return fail(path, f"'{field}' in {where} must be a "
+                                  "non-negative integer")
+        if "wall_ms" not in entry or not is_number(entry["wall_ms"]) \
+                or entry["wall_ms"] < 0:
+            return fail(path, f"'wall_ms' in {where} must be a "
+                              "non-negative number")
+    print(f"{path}: ok (summary, {len(benches)} benches, "
+          f"git_sha={doc['git_sha']})")
+    return True
+
+
+def git_sha():
+    try:
+        return subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            capture_output=True, text=True, check=True,
+            cwd=os.path.dirname(os.path.abspath(__file__)),
+        ).stdout.strip() or "unknown"
+    except (OSError, subprocess.CalledProcessError):
+        return "unknown"
+
+
+def summarize(directory):
+    """Writes DIR/BENCH_summary.json from DIR's per-bench reports."""
+    benches = {}
+    for path in sorted(glob.glob(os.path.join(directory, "BENCH_*.json"))):
+        if os.path.basename(path) == SUMMARY_BASENAME:
+            continue
+        if not validate_file(path):
+            return 1
+        with open(path, encoding="utf-8") as f:
+            doc = json.load(f)
+        samples = doc["samples"]
+        benches[doc["bench"]] = {
+            "scale": doc["scale"],
+            "smoke": doc["smoke"],
+            "samples": len(samples),
+            "workloads": len({s["workload"] for s in samples}),
+            "total_work": sum(s["total_work"] for s in samples),
+            "wall_ms": round(sum(s["wall_ms"] for s in samples), 3),
+        }
+    if not benches:
+        print(f"{directory}: no BENCH_*.json files found", file=sys.stderr)
+        return 1
+    summary = {
+        "schema_version": SCHEMA_VERSION,
+        "summary": True,
+        "git_sha": git_sha(),
+        "benches": benches,
+    }
+    out_path = os.path.join(directory, SUMMARY_BASENAME)
+    with open(out_path, "w", encoding="utf-8") as f:
+        json.dump(summary, f, indent=2, sort_keys=True)
+        f.write("\n")
+    return 0 if validate_file(out_path) else 1
+
+
 def load_dir(directory):
-    """Returns {(bench, workload, strategy): sample-dict} plus per-bench meta."""
+    """Returns {(bench, workload, strategy): sample-dict} plus per-bench meta.
+
+    BENCH_summary.json matches the BENCH_*.json glob but has no samples;
+    it is skipped so a summarized directory still diffs cleanly."""
     samples = {}
     meta = {}
     for path in sorted(glob.glob(os.path.join(directory, "BENCH_*.json"))):
+        if os.path.basename(path) == SUMMARY_BASENAME:
+            continue
         if not validate_file(path):
             sys.exit(1)
         with open(path, encoding="utf-8") as f:
@@ -277,14 +415,20 @@ def main():
     parser.add_argument("--threshold", type=float, default=0.0,
                         help="allowed total_work increase in percent "
                              "(default 0: counters are deterministic)")
+    parser.add_argument("--summary", metavar="DIR",
+                        help="write and validate DIR/BENCH_summary.json")
     args = parser.parse_args()
 
-    if bool(args.validate) == bool(args.diff):
-        parser.error("exactly one of --validate / --diff is required")
+    modes = [bool(args.validate), bool(args.diff), bool(args.summary)]
+    if sum(modes) != 1:
+        parser.error("exactly one of --validate / --diff / --summary "
+                     "is required")
 
     if args.validate:
         ok = all([validate_file(p) for p in args.validate])
         return 0 if ok else 1
+    if args.summary:
+        return summarize(args.summary)
     return diff(args.diff[0], args.diff[1], args.threshold)
 
 

@@ -12,12 +12,25 @@ BUILD="${ROOT}/build-sanitize"
 echo "== doc check: stale references in docs/ and README =="
 python3 "${ROOT}/scripts/doc_check.py" --self-test
 
+echo "== metrics lint: OpenMetrics validator self-test =="
+python3 "${ROOT}/scripts/metrics_lint.py" --self-test
+
 cmake -B "${BUILD}" -S "${ROOT}" -DSTARMAGIC_SANITIZE=ON
 cmake --build "${BUILD}" -j "$(nproc)"
 
 export ASAN_OPTIONS="halt_on_error=1:detect_leaks=1"
 export UBSAN_OPTIONS="halt_on_error=1:print_stacktrace=1"
 ctest --test-dir "${BUILD}" --output-on-failure -j "$(nproc)"
+
+# Observability server smoke under ASan: start → scrape → shutdown, with
+# the live /metrics exposition captured and linted against the OpenMetrics
+# rules (HELP/TYPE pairing, _total suffixes, bucket monotonicity, # EOF).
+echo "== obs server smoke + live-scrape lint (asan) =="
+SCRAPE="$(mktemp)"
+STARMAGIC_SCRAPE_OUT="${SCRAPE}" "${BUILD}/tests/net_test" \
+  --gtest_filter='ObsServerTest.*:ObsExpositionTest.*'
+python3 "${ROOT}/scripts/metrics_lint.py" "${SCRAPE}"
+rm -f "${SCRAPE}"
 
 # Bench smoke: tiny scales (STARMAGIC_BENCH_SMOKE), tracing on. Timing
 # claims are forgiven at smoke scale; correctness claims and sanitizer
@@ -47,6 +60,9 @@ cd "${SMOKE_DIR}/run_a"
 echo "== bench report: schema validation =="
 python3 "${ROOT}/scripts/bench_report.py" --validate BENCH_*.json
 
+echo "== bench report: consolidated summary =="
+python3 "${ROOT}/scripts/bench_report.py" --summary "${SMOKE_DIR}/run_a"
+
 echo "== bench report: determinism diff (run A vs run B) =="
 python3 "${ROOT}/scripts/bench_report.py" \
   --diff "${SMOKE_DIR}/run_a" "${SMOKE_DIR}/run_b"
@@ -69,16 +85,19 @@ done
 # coexist) covering the parallel subsystem — the worker-pool/determinism
 # tests, the governor's cross-thread accounting and cancellation paths,
 # the sys.* snapshot battery (snapshot-at-scan-start sharing one
-# materialized table across parallel morsels), plus a 4-thread smoke run
-# of the parallel bench. Any data race fails the run.
-echo "== tsan: parallel subsystem =="
+# materialized table across parallel morsels), the observability server
+# (scraping /metrics and /sys/active_queries from a second thread while
+# an 8-way recursive query runs), plus a 4-thread smoke run of the
+# parallel bench. Any data race fails the run.
+echo "== tsan: parallel subsystem + obs server =="
 TSAN_BUILD="${ROOT}/build-tsan"
 cmake -B "${TSAN_BUILD}" -S "${ROOT}" -DSTARMAGIC_SANITIZE=THREAD
-cmake --build "${TSAN_BUILD}" -j "$(nproc)" --target parallel_test governor_test sys_test bench_parallel
+cmake --build "${TSAN_BUILD}" -j "$(nproc)" --target parallel_test governor_test sys_test net_test bench_parallel
 export TSAN_OPTIONS="halt_on_error=1"
 "${TSAN_BUILD}/tests/parallel_test"
 "${TSAN_BUILD}/tests/governor_test"
 "${TSAN_BUILD}/tests/sys_test"
+"${TSAN_BUILD}/tests/net_test"
 TSAN_DIR="${SMOKE_DIR}/tsan"
 mkdir -p "${TSAN_DIR}"
 cd "${TSAN_DIR}"

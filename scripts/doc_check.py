@@ -19,7 +19,12 @@ Four reference kinds are extracted and verified:
     docs/system-tables.md are reconciled BOTH WAYS against the
     kSysSchemaSpec block in src/sys/system_tables.cc (the registry's
     source of truth): every registry column must be documented with
-    its type, and every documented table/column must still exist.
+    its type, and every documented table/column must still exist;
+  * the HTTP observability endpoints — the endpoint table in
+    docs/metrics-export.md is reconciled BOTH WAYS against the
+    kObsRouteSpec block in src/net/obs_server.cc (the route table the
+    server actually dispatches on): every served route must be
+    documented and every documented endpoint must still be served.
 
 Usage:
   doc_check.py              verify the repo's docs; exit 1 on any stale
@@ -226,6 +231,62 @@ def check_sys_schema(spec, doc_text, name=SYS_DOC_PATH):
     return problems
 
 
+# --- HTTP route reconciliation ---------------------------------------------
+
+OBS_SPEC_PATH = os.path.join("src", "net", "obs_server.cc")
+OBS_DOC_PATH = os.path.join("docs", "metrics-export.md")
+OBS_SPEC_RE = re.compile(r'\{"(\w+)",\s*"([^"]+)"')
+OBS_DOC_ROW_RE = re.compile(r"^\| `([A-Z]+) ([^`]+)` \|")
+
+
+def obs_route_spec():
+    """[(method, pattern)] from the kObsRouteSpec block in
+    src/net/obs_server.cc (delimited by doc_check:obs-routes-begin/end
+    markers) — the exact table ObsServer::Routes() serves."""
+    path = os.path.join(ROOT, OBS_SPEC_PATH)
+    with open(path, encoding="utf-8") as f:
+        source = f.read()
+    begin = source.find("doc_check:obs-routes-begin")
+    end = source.find("doc_check:obs-routes-end")
+    if begin < 0 or end < 0 or end <= begin:
+        return []
+    return OBS_SPEC_RE.findall(source[begin:end])
+
+
+def parse_obs_doc(text):
+    """{(method, pattern)} from the endpoint table rows of
+    docs/metrics-export.md ('| `GET /metrics` | ... |')."""
+    endpoints = set()
+    for line in text.splitlines():
+        row = OBS_DOC_ROW_RE.match(line.strip())
+        if row:
+            endpoints.add((row.group(1), row.group(2).strip()))
+    return endpoints
+
+
+def check_obs_routes(routes, doc_text, name=OBS_DOC_PATH):
+    """Both directions: server -> doc (every route documented) and
+    doc -> server (no documented endpoint the server stopped serving)."""
+    problems = []
+    if not routes:
+        problems.append(
+            f"{OBS_SPEC_PATH}: kObsRouteSpec block not found "
+            "(doc_check:obs-routes markers moved?)")
+        return problems
+    documented = parse_obs_doc(doc_text)
+    for method, pattern in routes:
+        if (method, pattern) not in documented:
+            problems.append(f"{name}: route '{method} {pattern}' is "
+                            "served but has no endpoint-table row")
+    served = set(routes)
+    for method, pattern in sorted(documented):
+        if (method, pattern) not in served:
+            problems.append(f"{name}: documented endpoint "
+                            f"'{method} {pattern}' is not served by "
+                            "ObsServer")
+    return problems
+
+
 def check_docs(docs, valid_commands, valid_env):
     """Returns a list of 'file: problem' strings for `docs`, a list of
     (display_name, text) pairs."""
@@ -247,13 +308,16 @@ def check_docs(docs, valid_commands, valid_env):
     return problems
 
 
-def self_test(valid_commands, valid_env, spec, sys_doc_text):
+def self_test(valid_commands, valid_env, spec, sys_doc_text, routes,
+              obs_doc_text):
     """Injected drift of every kind must be caught — proving the
     checker would catch real drift, not just happen to pass today.
-    Three generic stale references, plus four sys-schema mutations
-    applied to the real docs/system-tables.md text: a table the
-    registry doesn't have, a renamed column (caught from BOTH
-    directions), and a changed column type."""
+    Three generic stale references, four sys-schema mutations applied
+    to the real docs/system-tables.md text (a table the registry
+    doesn't have, a renamed column caught from BOTH directions, a
+    changed column type), and two route mutations applied to the real
+    docs/metrics-export.md text (a removed endpoint row and a bogus
+    documented endpoint)."""
     # The variable name is assembled at runtime so this script's own
     # source (scanned by tree_env_vars) never defines it.
     stale_var = "STARMAGIC_" + "NONEXISTENT_KNOB"
@@ -289,8 +353,24 @@ def self_test(valid_commands, valid_env, spec, sys_doc_text):
         for p in sys_problems:
             print(f"  {p}", file=sys.stderr)
         return False
-    print(f"self-test ok ({expected + sys_expected} injected stale "
-          "references caught)")
+
+    stale_obs = obs_doc_text.replace("| `GET /healthz` |", "| `GET | ", 1)
+    stale_obs += "\n| `GET /teapot` | short and stout |\n"
+    if "| `GET /healthz` |" in stale_obs or "/teapot" not in stale_obs:
+        print("self-test FAILED: route mutations did not apply "
+              "(endpoint-table wording changed?)", file=sys.stderr)
+        return False
+    obs_problems = check_obs_routes(routes, stale_obs,
+                                    name="<obs-self-test>")
+    obs_expected = 2  # /healthz undocumented, /teapot not served
+    if len(obs_problems) != obs_expected:
+        print(f"self-test FAILED: expected {obs_expected} route "
+              f"problems, got {len(obs_problems)}:", file=sys.stderr)
+        for p in obs_problems:
+            print(f"  {p}", file=sys.stderr)
+        return False
+    print(f"self-test ok ({expected + sys_expected + obs_expected} "
+          "injected stale references caught)")
     return True
 
 
@@ -326,13 +406,22 @@ def main():
     problems += check_sys_schema(spec, sys_doc_text)
     checked_refs += len(spec)
 
+    routes = obs_route_spec()
+    obs_doc_text = ""
+    obs_doc_path = os.path.join(ROOT, OBS_DOC_PATH)
+    if os.path.exists(obs_doc_path):
+        with open(obs_doc_path, encoding="utf-8") as f:
+            obs_doc_text = f.read()
+    problems += check_obs_routes(routes, obs_doc_text)
+    checked_refs += len(routes)
+
     for p in problems:
         print(f"STALE {p}", file=sys.stderr)
     print(f"doc_check: {len(docs)} docs, {checked_refs} references, "
           f"{len(problems)} stale")
 
     if run_self_test and not self_test(valid_commands, valid_env, spec,
-                                       sys_doc_text):
+                                       sys_doc_text, routes, obs_doc_text):
         return 1
     return 1 if problems else 0
 

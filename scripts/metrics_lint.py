@@ -1,0 +1,297 @@
+#!/usr/bin/env python3
+"""Lint an OpenMetrics text exposition (the output of GET /metrics).
+
+Checks the subset of the OpenMetrics 1.0 spec the engine's exporter
+(src/obs/exporter.cc) promises:
+
+  * every sample belongs to a family announced by `# HELP` and `# TYPE`
+    lines, in that order, each appearing exactly once per family;
+  * metric and label names match [a-zA-Z_:][a-zA-Z0-9_:]*;
+  * counter samples use the `<family>_total` suffix — and nothing else;
+  * histogram `_bucket` series carry an `le` label, their cumulative
+    counts are monotone non-decreasing in `le` order, the last bucket is
+    `le="+Inf"`, and `_count` equals the `+Inf` bucket;
+  * label values escape `"`, `\\`, and newlines;
+  * sample values parse as OpenMetrics numbers (including +Inf/-Inf/NaN);
+  * the exposition ends with exactly one `# EOF` line.
+
+Usage:
+  metrics_lint.py FILE [FILE ...]   lint expositions; exit 1 on any error
+  metrics_lint.py --self-test       run the built-in good/bad cases
+"""
+
+import re
+import sys
+
+NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+NUMBER_RE = re.compile(
+    r"^([+-]?(\d+(\.\d*)?|\.\d+)([eE][+-]?\d+)?|[+-]?Inf|NaN)$")
+
+
+def parse_labels(text, errors, where):
+    """Parses '{a="b",c="d"}' into a dict; records malformed syntax."""
+    labels = {}
+    pos = 0
+    while pos < len(text):
+        eq = text.find("=", pos)
+        if eq < 0 or eq + 1 >= len(text) or text[eq + 1] != '"':
+            errors.append(f"{where}: malformed label set '{{{text}}}'")
+            return labels
+        name = text[pos:eq]
+        if not NAME_RE.match(name):
+            errors.append(f"{where}: bad label name '{name}'")
+        value = []
+        i = eq + 2
+        closed = False
+        while i < len(text):
+            c = text[i]
+            if c == "\\":
+                if i + 1 >= len(text) or text[i + 1] not in '\\"n':
+                    errors.append(f"{where}: bad escape in label value")
+                    return labels
+                value.append(text[i + 1])
+                i += 2
+                continue
+            if c == '"':
+                closed = True
+                i += 1
+                break
+            if c == "\n":
+                break
+            value.append(c)
+            i += 1
+        if not closed:
+            errors.append(f"{where}: unterminated label value")
+            return labels
+        labels[name] = "".join(value)
+        if i < len(text) and text[i] == ",":
+            i += 1
+        pos = i
+    return labels
+
+
+def lint_text(text, path="<input>"):
+    """Returns a list of error strings (empty = clean)."""
+    errors = []
+    lines = text.split("\n")
+    if lines and lines[-1] == "":
+        lines.pop()
+    if not lines or lines[-1] != "# EOF":
+        errors.append(f"{path}: exposition must end with '# EOF'")
+    if lines.count("# EOF") > 1:
+        errors.append(f"{path}: multiple '# EOF' lines")
+    if "# EOF" in lines and lines.index("# EOF") != len(lines) - 1:
+        errors.append(f"{path}: samples after '# EOF'")
+
+    families = {}  # family -> {"help": bool, "type": str or None}
+    # family -> ordered [(le, count)] for bucket monotonicity
+    buckets = {}
+    counts = {}
+
+    def family_of(sample_name):
+        for family, meta in families.items():
+            if meta["type"] == "counter" and sample_name == family + "_total":
+                return family
+            if meta["type"] == "histogram" and sample_name in (
+                    family + "_bucket", family + "_sum", family + "_count"):
+                return family
+            if sample_name == family:
+                return family
+        return None
+
+    for n, line in enumerate(lines, 1):
+        where = f"{path}:{n}"
+        if line == "# EOF":
+            continue
+        if line.startswith("# HELP ") or line.startswith("# TYPE "):
+            kind = line[2:6]
+            rest = line[7:]
+            parts = rest.split(" ", 1)
+            name = parts[0]
+            if not NAME_RE.match(name):
+                errors.append(f"{where}: bad family name '{name}'")
+                continue
+            meta = families.setdefault(name, {"help": False, "type": None})
+            if kind == "HELP":
+                if meta["help"]:
+                    errors.append(f"{where}: duplicate HELP for '{name}'")
+                if len(parts) < 2 or not parts[1].strip():
+                    errors.append(f"{where}: empty HELP text for '{name}'")
+                meta["help"] = True
+            else:
+                if meta["type"] is not None:
+                    errors.append(f"{where}: duplicate TYPE for '{name}'")
+                if not meta["help"]:
+                    errors.append(f"{where}: TYPE before HELP for '{name}'")
+                meta["type"] = parts[1].strip() if len(parts) > 1 else ""
+                if meta["type"] not in ("counter", "gauge", "histogram"):
+                    errors.append(f"{where}: unknown TYPE "
+                                  f"'{meta['type']}' for '{name}'")
+            continue
+        if line.startswith("#"):
+            errors.append(f"{where}: unknown comment '{line}'")
+            continue
+        if not line.strip():
+            errors.append(f"{where}: blank line in exposition")
+            continue
+        # Sample: name[{labels}] value
+        m = re.match(r"^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{(.*)\})? (\S+)$", line)
+        if not m:
+            errors.append(f"{where}: malformed sample line '{line}'")
+            continue
+        sample_name, _, label_text, value = m.groups()
+        labels = parse_labels(label_text, errors, where) if label_text \
+            else {}
+        if not NUMBER_RE.match(value):
+            errors.append(f"{where}: bad sample value '{value}'")
+            continue
+        family = family_of(sample_name)
+        if family is None:
+            errors.append(f"{where}: sample '{sample_name}' has no "
+                          "HELP/TYPE family")
+            continue
+        meta = families[family]
+        if not meta["help"] or meta["type"] is None:
+            errors.append(f"{where}: family '{family}' is missing "
+                          "HELP or TYPE")
+        if meta["type"] == "counter" and sample_name != family + "_total":
+            errors.append(f"{where}: counter sample must be "
+                          f"'{family}_total', got '{sample_name}'")
+        if sample_name == family + "_bucket":
+            if "le" not in labels:
+                errors.append(f"{where}: _bucket sample without an "
+                              "'le' label")
+            else:
+                buckets.setdefault(family, []).append(
+                    (labels["le"], float(value), where))
+        if sample_name == family + "_count":
+            counts[family] = (float(value), where)
+
+    for family, series in sorted(buckets.items()):
+        prev = None
+        for le, count, where in series:
+            if prev is not None and count < prev:
+                errors.append(f"{where}: bucket counts of '{family}' are "
+                              f"not monotone ({count} after {prev})")
+            prev = count
+        if series[-1][0] != "+Inf":
+            errors.append(f"{path}: last bucket of '{family}' must be "
+                          f"le=\"+Inf\", got le=\"{series[-1][0]}\"")
+        elif family in counts and counts[family][0] != series[-1][1]:
+            errors.append(f"{counts[family][1]}: '{family}_count' "
+                          f"({counts[family][0]:g}) != +Inf bucket "
+                          f"({series[-1][1]:g})")
+    return errors
+
+
+# ---------------------------------------------------------------------------
+# Self-test: a known-good exposition and a battery of single-defect cases,
+# each of which must be caught.
+# ---------------------------------------------------------------------------
+
+GOOD = """\
+# HELP starmagic_query_executions Counter query.executions.
+# TYPE starmagic_query_executions counter
+starmagic_query_executions_total 3
+# HELP starmagic_exec_rows Histogram exec.rows.
+# TYPE starmagic_exec_rows histogram
+starmagic_exec_rows_bucket{le="1"} 1
+starmagic_exec_rows_bucket{le="8"} 2
+starmagic_exec_rows_bucket{le="+Inf"} 3
+starmagic_exec_rows_sum 12.5
+starmagic_exec_rows_count 3
+# HELP starmagic_active_queries Live queries.
+# TYPE starmagic_active_queries gauge
+starmagic_active_queries 0
+# EOF
+"""
+
+BAD_CASES = {
+    "missing EOF": GOOD.replace("# EOF\n", ""),
+    "sample without HELP/TYPE": GOOD.replace(
+        "# EOF", "orphan_metric 1\n# EOF"),
+    "counter without _total": GOOD.replace(
+        "starmagic_query_executions_total 3",
+        "starmagic_query_executions 3"),
+    "non-monotone buckets": GOOD.replace(
+        'starmagic_exec_rows_bucket{le="8"} 2',
+        'starmagic_exec_rows_bucket{le="8"} 9'),
+    "missing +Inf bucket": GOOD.replace(
+        'starmagic_exec_rows_bucket{le="+Inf"} 3\n', ""),
+    "count disagrees with +Inf": GOOD.replace(
+        "starmagic_exec_rows_count 3", "starmagic_exec_rows_count 4"),
+    "bad metric name": GOOD.replace(
+        "starmagic_active_queries 0", "1starmagic_bad 0"),
+    "bad label escape": GOOD.replace(
+        'starmagic_exec_rows_bucket{le="1"} 1',
+        'starmagic_exec_rows_bucket{le="\\x"} 1'),
+    "unterminated label value": GOOD.replace(
+        'starmagic_exec_rows_bucket{le="1"} 1',
+        'starmagic_exec_rows_bucket{le="1} 1'),
+    "bad sample value": GOOD.replace(
+        "starmagic_active_queries 0", "starmagic_active_queries zero"),
+    "TYPE before HELP": GOOD.replace(
+        "# HELP starmagic_active_queries Live queries.\n"
+        "# TYPE starmagic_active_queries gauge",
+        "# TYPE starmagic_active_queries gauge\n"
+        "# HELP starmagic_active_queries Live queries."),
+    "duplicate TYPE": GOOD.replace(
+        "# TYPE starmagic_active_queries gauge",
+        "# TYPE starmagic_active_queries gauge\n"
+        "# TYPE starmagic_active_queries gauge"),
+    "unknown TYPE": GOOD.replace(
+        "# TYPE starmagic_active_queries gauge",
+        "# TYPE starmagic_active_queries summary"),
+    "content after EOF": GOOD + "late_metric 1\n",
+}
+
+
+def self_test():
+    errors = lint_text(GOOD, "good")
+    if errors:
+        print("self-test: the GOOD exposition must lint clean:",
+              file=sys.stderr)
+        for e in errors:
+            print(f"  {e}", file=sys.stderr)
+        return 1
+    failed = 0
+    for name, text in BAD_CASES.items():
+        if not lint_text(text, name):
+            print(f"self-test: bad case '{name}' was not caught",
+                  file=sys.stderr)
+            failed += 1
+    if failed:
+        return 1
+    print(f"metrics_lint self-test: ok ({len(BAD_CASES)} defect cases "
+          "caught, good case clean)")
+    return 0
+
+
+def main(argv):
+    if len(argv) >= 2 and argv[1] == "--self-test":
+        return self_test()
+    if len(argv) < 2:
+        print(__doc__, file=sys.stderr)
+        return 2
+    failed = 0
+    for path in argv[1:]:
+        try:
+            with open(path, encoding="utf-8") as f:
+                text = f.read()
+        except OSError as e:
+            print(f"{path}: {e}", file=sys.stderr)
+            failed += 1
+            continue
+        errors = lint_text(text, path)
+        for e in errors:
+            print(e, file=sys.stderr)
+        if errors:
+            failed += 1
+        else:
+            lines = len([l for l in text.split("\n") if l and l[0] != "#"])
+            print(f"{path}: ok ({lines} samples)")
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

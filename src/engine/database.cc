@@ -412,6 +412,7 @@ void RecordQErrors(const QueryGraph& graph, const Catalog* catalog,
 Result<QueryResult> Database::RunPipeline(PipelineResult pipeline,
                                           const QueryOptions& options,
                                           bool collect_box_stats,
+                                          ProgressTracker* progress,
                                           GovernorStats* governor_out) {
   // Internal introspection queries run unbudgeted (a tiny session row
   // limit must not abort the dashboard displaying it) and write no
@@ -428,6 +429,7 @@ Result<QueryResult> Database::RunPipeline(PipelineResult pipeline,
   exec_options.num_threads = options.num_threads;
   exec_options.morsel_size = options.morsel_size;
   exec_options.governor = &governor;
+  exec_options.progress = progress;
   Executor executor(pipeline.graph.get(), &catalog_, exec_options);
   // Not SM_ASSIGN_OR_RETURN: governor stats and abort metrics must be
   // recorded for failing runs too — aborted queries are exactly the ones
@@ -495,8 +497,13 @@ std::string FormatMs(double ms) {
 
 Result<QueryResult> Database::RunExplain(const AstExplain& ex,
                                          const QueryOptions& options,
+                                         ProgressTracker* progress,
                                          GovernorStats* governor_out) {
   SM_ASSIGN_OR_RETURN(PipelineResult pipeline, OptimizeBlob(*ex.query, options));
+  if (progress != nullptr && pipeline.graph->top() != nullptr) {
+    CardinalityEstimator est(pipeline.graph.get(), &catalog_);
+    progress->SetEstRows(est.Estimate(pipeline.graph->top()).rows);
+  }
 
   QueryResult result;
   result.cost_no_emst = pipeline.cost_no_emst;
@@ -519,6 +526,8 @@ Result<QueryResult> Database::RunExplain(const AstExplain& ex,
     exec_options.num_threads = options.num_threads;
     exec_options.morsel_size = options.morsel_size;
     exec_options.governor = &governor;
+    exec_options.progress = progress;
+    if (progress != nullptr) progress->SetPhase(QueryPhase::kExecute);
     Executor executor(pipeline.graph.get(), &catalog_, exec_options);
     Result<Table> run = executor.Run();
     RecordParallelMetrics(metrics, executor.parallel_stats());
@@ -573,7 +582,10 @@ Result<QueryResult> Database::RunExplain(const AstExplain& ex,
       });
   // Retain this ANALYZE's per-box estimated-vs-actual rows for
   // sys.box_stats (box-id order; internal queries never overwrite it).
+  // obs_mu_ orders the overwrite against SnapshotSysTable fills from the
+  // HTTP server thread.
   if (ex.analyze && !options.internal) {
+    std::lock_guard<std::mutex> obs_lock(obs_mu_);
     last_box_stats_.clear();
     for (const Box* box : pipeline.graph->boxes()) {
       SysBoxStatRow row;
@@ -619,13 +631,15 @@ Result<QueryResult> Database::RunExplain(const AstExplain& ex,
 
 Result<QueryResult> Database::QueryInternal(const std::string& sql,
                                             const QueryOptions& options,
+                                            ProgressTracker* progress,
                                             std::string* kind,
                                             GovernorStats* governor_out) {
   SM_ASSIGN_OR_RETURN(std::unique_ptr<AstStatement> stmt, ParseStatement(sql));
+  if (progress != nullptr) progress->SetPhase(QueryPhase::kOptimize);
   if (stmt->kind == StatementKind::kExplain) {
     const auto& ex = static_cast<const AstExplain&>(*stmt);
     *kind = ex.analyze ? "explain-analyze" : "explain";
-    return RunExplain(ex, options, governor_out);
+    return RunExplain(ex, options, progress, governor_out);
   }
   if (stmt->kind != StatementKind::kSelect) {
     return Status::InvalidArgument(
@@ -635,8 +649,15 @@ Result<QueryResult> Database::QueryInternal(const std::string& sql,
   const auto& select = static_cast<const AstSelectStatement&>(*stmt);
   SM_ASSIGN_OR_RETURN(PipelineResult pipeline,
                       OptimizeBlob(*select.blob, options));
+  if (progress != nullptr) {
+    if (pipeline.graph->top() != nullptr) {
+      CardinalityEstimator est(pipeline.graph.get(), &catalog_);
+      progress->SetEstRows(est.Estimate(pipeline.graph->top()).rows);
+    }
+    progress->SetPhase(QueryPhase::kExecute);
+  }
   return RunPipeline(std::move(pipeline), options, /*collect_box_stats=*/false,
-                     governor_out);
+                     progress, governor_out);
 }
 
 Result<QueryResult> Database::Query(const std::string& sql,
@@ -644,6 +665,12 @@ Result<QueryResult> Database::Query(const std::string& sql,
   auto start = std::chrono::steady_clock::now();
   std::string kind = "select";
   GovernorStats governor_stats;
+  // Live-progress registration: the query is visible in sys.active_queries
+  // (and GET /sys/active_queries) for exactly the duration of this scope.
+  // Internal observer queries never register — the dashboard does not
+  // watch itself — and neither does anything when tracking is disabled.
+  ProgressScope progress_scope(
+      options.internal || !progress_enabled_ ? nullptr : &progress_, sql);
   Result<QueryResult> result = [&]() -> Result<QueryResult> {
     // Per-query sys.* snapshot: each referenced system table materializes
     // once, at its first scan, from live engine state. The scope ends (and
@@ -654,7 +681,8 @@ Result<QueryResult> Database::Query(const std::string& sql,
     if (catalog_.system_registry() != nullptr) {
       scope.emplace(&catalog_, &snapshot);
     }
-    return QueryInternal(sql, options, &kind, &governor_stats);
+    return QueryInternal(sql, options, progress_scope.tracker(), &kind,
+                         &governor_stats);
   }();
   auto end = std::chrono::steady_clock::now();
   // Internal introspection queries observe without perturbing the very
@@ -678,6 +706,9 @@ Result<QueryResult> Database::Query(const std::string& sql,
     entry.emst_chosen = r.emst_chosen;
     entry.total_work = r.exec_stats.TotalWork();
     entry.rows = r.result_rows;
+    // obs_mu_ orders the rewrite-totals accumulation against
+    // SnapshotSysTable fills from the HTTP server thread.
+    std::lock_guard<std::mutex> obs_lock(obs_mu_);
     for (const RuleFireStats& f : r.rule_fires) {
       if (f.fires > 0) entry.rule_fires.push_back({f.phase, f.rule, f.fires});
       // Cumulative per-rule totals for sys.rewrite_rules, aggregated
@@ -705,6 +736,7 @@ SysEngineState Database::MakeSysState(const QueryOptions& options) const {
   state.budget = options.budget;
   state.box_stats = &last_box_stats_;
   state.rewrite_rules = &rewrite_totals_;
+  state.progress = &progress_;
   // Lazy: only a query that actually scans sys.settings pays for this.
   // QueryOptions is captured by value (it holds plain fields + borrowed
   // pointers), so the closure outlives the options reference.
@@ -736,6 +768,22 @@ SysEngineState Database::MakeSysState(const QueryOptions& options) const {
     return rows;
   };
   return state;
+}
+
+Result<Table> Database::SnapshotSysTable(const std::string& name,
+                                         const QueryOptions& options) const {
+  const SystemTableDef* def = sys_registry_.Find(name);
+  if (def == nullptr) {
+    return Status::NotFound(StrCat("unknown system table '", name, "'"));
+  }
+  SysEngineState state = MakeSysState(options);
+  Table table(def->name, def->schema);
+  // The fill may read last_box_stats_ / rewrite_totals_ — plain aggregates
+  // written at query end under the same lock. Everything else it touches
+  // (metrics, query log, progress) is internally locked or atomic.
+  std::lock_guard<std::mutex> lock(obs_mu_);
+  if (def->fill != nullptr) table.mutable_rows() = def->fill(state);
+  return table;
 }
 
 }  // namespace starmagic

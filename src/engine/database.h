@@ -2,12 +2,14 @@
 #define STARMAGIC_ENGINE_DATABASE_H_
 
 #include <memory>
+#include <mutex>
 #include <string>
 
 #include "catalog/catalog.h"
 #include "exec/executor.h"
 #include "governor/governor.h"
 #include "obs/decision_audit.h"
+#include "obs/progress.h"
 #include "obs/query_log.h"
 #include "optimizer/pipeline.h"
 #include "sys/system_tables.h"
@@ -152,6 +154,28 @@ class Database {
   SystemTableRegistry* system_tables() { return &sys_registry_; }
   const SystemTableRegistry* system_tables() const { return &sys_registry_; }
 
+  /// Live trackers of in-flight (non-internal) Query() calls — the source
+  /// of sys.active_queries. Snapshot() is safe from any thread; the
+  /// per-morsel updates are wait-free atomics on the executor hot path.
+  ProgressRegistry* progress() { return &progress_; }
+  const ProgressRegistry* progress() const { return &progress_; }
+
+  /// Toggles per-query progress tracking (default on). Off = Query() skips
+  /// registration entirely and the executor sees a null tracker — the
+  /// baseline side of the bench_systables progress-overhead gate.
+  void EnableProgressTracking(bool enabled) { progress_enabled_ = enabled; }
+
+  /// Materializes one sys.* table directly from live engine state, without
+  /// running SQL — the HTTP endpoint path (GET /sys/<table>). `options`
+  /// feeds sys.settings and sys.governor exactly as it does for a query
+  /// (pass `internal = true` to mark the observer). Thread-safe against
+  /// concurrently executing queries: every source is either internally
+  /// locked (metrics, query log, progress) or guarded by the Database's
+  /// observability mutex (box stats, rewrite totals). NotFound for
+  /// unregistered names.
+  Result<Table> SnapshotSysTable(const std::string& name,
+                                 const QueryOptions& options) const;
+
  private:
   Status ExecuteStatement(const AstStatement& stmt);
 
@@ -162,20 +186,24 @@ class Database {
 
   /// Executes an already-optimized pipeline result. *governor_out is
   /// filled with the run's governor stats even when execution fails (the
-  /// query log records peak bytes for aborted queries too).
+  /// query log records peak bytes for aborted queries too). `progress`
+  /// (may be null) receives live execution updates.
   Result<QueryResult> RunPipeline(PipelineResult pipeline,
                                   const QueryOptions& options,
                                   bool collect_box_stats,
+                                  ProgressTracker* progress,
                                   GovernorStats* governor_out);
 
   /// EXPLAIN [ANALYZE]: builds the annotated-plan result.
   Result<QueryResult> RunExplain(const AstExplain& ex,
                                  const QueryOptions& options,
+                                 ProgressTracker* progress,
                                  GovernorStats* governor_out);
 
   /// Query() minus the query-log bookkeeping; sets *kind for the log.
   Result<QueryResult> QueryInternal(const std::string& sql,
                                     const QueryOptions& options,
+                                    ProgressTracker* progress,
                                     std::string* kind,
                                     GovernorStats* governor_out);
 
@@ -186,6 +214,16 @@ class Database {
   Catalog catalog_;
   QueryLog query_log_;
   SystemTableRegistry sys_registry_;
+  /// In-flight query trackers (sys.active_queries). Internally locked.
+  ProgressRegistry progress_;
+  bool progress_enabled_ = true;
+  /// Guards the plain-data observability aggregates below
+  /// (last_box_stats_, rewrite_totals_) against concurrent reads from the
+  /// SnapshotSysTable path (the HTTP server thread). Writes happen at
+  /// query end on the coordinator; the per-query sys snapshot path reads
+  /// them from the same coordinator thread, so only the cross-thread
+  /// snapshot needs the lock.
+  mutable std::mutex obs_mu_;
   /// Per-box stats of the last successful EXPLAIN ANALYZE, retained for
   /// sys.box_stats so plan quality stays queryable after the fact.
   std::vector<SysBoxStatRow> last_box_stats_;

@@ -58,7 +58,8 @@ Executor::Executor(QueryGraph* graph, const Catalog* catalog,
   if (options_.num_threads > 1) {
     pool_ = std::make_unique<WorkerPool>(options_.num_threads,
                                          options_.tracer,
-                                         options_.governor);
+                                         options_.governor,
+                                         options_.progress);
   }
 }
 
@@ -312,6 +313,14 @@ Result<Table> Executor::ComputeBox(Box* box, const RowEnv& env) {
     // governor, so sequential execution aborts at box granularity even
     // when no worker pool exists.
     SM_RETURN_IF_ERROR(options_.governor->CheckPoint());
+  }
+  if (options_.progress != nullptr) {
+    // Piggybacked on the cancellation site: two wait-free relaxed stores
+    // publishing "rows so far" and the governor's peak to live snapshots.
+    options_.progress->SetRowsProduced(stats_.rows_produced);
+    if (options_.governor != nullptr) {
+      options_.progress->SetPeakBytes(options_.governor->peak_bytes());
+    }
   }
   ++stats_.box_evaluations;
   const bool tracing =
@@ -1027,6 +1036,9 @@ Result<Table> Executor::ComputeSelect(Box* box, const RowEnv& env) {
       }
       SM_RETURN_IF_ERROR(gov->CheckPoint());
       gov->Release(current_bytes + step_build_bytes);
+      if (options_.progress != nullptr) {
+        options_.progress->SetPeakBytes(gov->peak_bytes());
+      }
     }
     bound.push_back(q->id);
     current = std::move(next);
@@ -1046,6 +1058,9 @@ Result<Table> Executor::ComputeSelect(Box* box, const RowEnv& env) {
     if (gov != nullptr && --until_check == 0) {
       until_check = check_stride;
       SM_RETURN_IF_ERROR(gov->CheckPoint());
+      if (options_.progress != nullptr) {
+        options_.progress->SetPeakBytes(gov->peak_bytes());
+      }
     }
     RowEnv rowenv(&box_env);
     for (size_t i = 0; i < bound.size(); ++i) rowenv.Bind(bound[i], combo[i]);
@@ -1405,6 +1420,9 @@ Status Executor::EnsureSccEvaluated(int scc_id) {
       return Status::ExecutionError("recursive fixpoint did not converge");
     }
     ++stats_.fixpoint_iterations;
+    if (options_.progress != nullptr) {
+      options_.progress->SetFixpointRound(stats_.fixpoint_iterations);
+    }
     if (gov != nullptr) {
       // Governor round boundary: cancellation/deadline poll plus the
       // fixpoint-iteration budget (cumulative across the query's SCCs).

@@ -13,6 +13,7 @@
 #include "exec/eval.h"
 #include "exec/join.h"
 #include "governor/governor.h"
+#include "obs/progress.h"
 #include "obs/trace.h"
 #include "parallel/worker_pool.h"
 #include "qgm/graph.h"
@@ -58,6 +59,12 @@ struct ExecOptions {
   /// for cancellation/deadline at box entry, morsel boundaries, and each
   /// fixpoint round. Null skips all accounting (zero overhead).
   ResourceGovernor* governor = nullptr;
+  /// Live-progress sink for this query (not owned, may be null). Updated
+  /// with wait-free relaxed stores at the same sites the governor polls —
+  /// box entry (rows so far, governor peak), fixpoint rounds, and morsel
+  /// claims inside the worker pool — so sys.active_queries snapshots see
+  /// execution advance without any new synchronization on the hot path.
+  ProgressTracker* progress = nullptr;
 };
 
 /// Deterministic work counters (machine-independent evidence for the

@@ -1,0 +1,276 @@
+#include "net/obs_server.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <iterator>
+
+#include "common/string_util.h"
+
+namespace starmagic::obs {
+
+namespace {
+
+// doc_check:obs-routes-begin
+const ObsRoute kObsRouteSpec[] = {
+    {"GET", "/metrics", "OpenMetrics text exposition of all counters, "
+                        "histograms, and the active-query gauge"},
+    {"GET", "/healthz", "liveness probe; returns `ok`"},
+    {"GET", "/sys/<table>", "snapshot of one sys.* table; "
+                            "`?format=json|csv` (default json)"},
+};
+// doc_check:obs-routes-end
+
+const char* ReasonPhrase(int status) {
+  switch (status) {
+    case 200: return "OK";
+    case 400: return "Bad Request";
+    case 404: return "Not Found";
+    case 405: return "Method Not Allowed";
+    case 503: return "Service Unavailable";
+    default: return "Error";
+  }
+}
+
+int HexDigit(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  return -1;
+}
+
+// %XX-decodes `s`; '+' becomes a space when `plus_is_space` (query-string
+// convention). Malformed escapes pass through literally.
+std::string PercentDecode(const std::string& s, bool plus_is_space) {
+  std::string out;
+  out.reserve(s.size());
+  for (size_t i = 0; i < s.size(); ++i) {
+    if (s[i] == '%' && i + 2 < s.size()) {
+      const int hi = HexDigit(s[i + 1]);
+      const int lo = HexDigit(s[i + 2]);
+      if (hi >= 0 && lo >= 0) {
+        out.push_back(static_cast<char>(hi * 16 + lo));
+        i += 2;
+        continue;
+      }
+    }
+    if (plus_is_space && s[i] == '+') {
+      out.push_back(' ');
+      continue;
+    }
+    out.push_back(s[i]);
+  }
+  return out;
+}
+
+// Parses "GET /path?a=b HTTP/1.1" into an ObsRequest. False on malformed
+// request lines.
+bool ParseRequestLine(const std::string& line, ObsRequest* request) {
+  const size_t method_end = line.find(' ');
+  if (method_end == std::string::npos) return false;
+  const size_t target_end = line.find(' ', method_end + 1);
+  if (target_end == std::string::npos) return false;
+  request->method = line.substr(0, method_end);
+  std::string target =
+      line.substr(method_end + 1, target_end - method_end - 1);
+  const size_t query_start = target.find('?');
+  std::string query;
+  if (query_start != std::string::npos) {
+    query = target.substr(query_start + 1);
+    target.resize(query_start);
+  }
+  request->path = PercentDecode(target, /*plus_is_space=*/false);
+  size_t pos = 0;
+  while (pos < query.size()) {
+    size_t amp = query.find('&', pos);
+    if (amp == std::string::npos) amp = query.size();
+    const std::string pair = query.substr(pos, amp - pos);
+    const size_t eq = pair.find('=');
+    if (eq != std::string::npos) {
+      request->params[PercentDecode(pair.substr(0, eq), true)] =
+          PercentDecode(pair.substr(eq + 1), true);
+    } else if (!pair.empty()) {
+      request->params[PercentDecode(pair, true)] = "";
+    }
+    pos = amp + 1;
+  }
+  return !request->method.empty() && !request->path.empty() &&
+         request->path[0] == '/';
+}
+
+std::string SerializeResponse(const ObsResponse& response) {
+  return StrCat("HTTP/1.1 ", response.status, " ",
+                ReasonPhrase(response.status), "\r\n",
+                "Content-Type: ", response.content_type, "\r\n",
+                "Content-Length: ", response.body.size(), "\r\n",
+                "Connection: close\r\n\r\n", response.body);
+}
+
+ObsResponse SimpleResponse(int status, const std::string& body) {
+  ObsResponse response;
+  response.status = status;
+  response.body = body;
+  return response;
+}
+
+void SendAll(int fd, const std::string& data) {
+  size_t sent = 0;
+  while (sent < data.size()) {
+    const ssize_t n = ::send(fd, data.data() + sent, data.size() - sent,
+                             MSG_NOSIGNAL);
+    if (n <= 0) return;  // client went away; nothing to do
+    sent += static_cast<size_t>(n);
+  }
+}
+
+}  // namespace
+
+const std::vector<ObsRoute>& ObsServer::Routes() {
+  static const std::vector<ObsRoute> routes(
+      kObsRouteSpec, kObsRouteSpec + std::size(kObsRouteSpec));
+  return routes;
+}
+
+ObsResponse ObsServer::Dispatch(const ObsEndpoints& endpoints,
+                                const ObsRequest& request) {
+  const bool known_path =
+      request.path == "/metrics" || request.path == "/healthz" ||
+      (request.path.rfind("/sys/", 0) == 0 && request.path.size() > 5);
+  if (!known_path) {
+    return SimpleResponse(404, StrCat("no route for '", request.path,
+                                      "'\n"));
+  }
+  if (request.method != "GET") {
+    return SimpleResponse(405, StrCat("method ", request.method,
+                                      " not allowed (GET only)\n"));
+  }
+  if (request.path == "/metrics") {
+    return endpoints.metrics ? endpoints.metrics()
+                             : SimpleResponse(503, "not wired\n");
+  }
+  if (request.path == "/healthz") {
+    return endpoints.healthz ? endpoints.healthz()
+                             : SimpleResponse(503, "not wired\n");
+  }
+  if (!endpoints.sys_table) return SimpleResponse(503, "not wired\n");
+  const std::string table = request.path.substr(5);
+  const auto it = request.params.find("format");
+  const std::string format = it == request.params.end() ? "json"
+                                                        : it->second;
+  return endpoints.sys_table(table, format);
+}
+
+ObsServer::ObsServer(ObsEndpoints endpoints)
+    : endpoints_(std::move(endpoints)) {}
+
+ObsServer::~ObsServer() { Stop(); }
+
+Status ObsServer::Start(int port) {
+  if (running()) {
+    return Status::InvalidArgument("observability server already running");
+  }
+  if (::pipe(wake_pipe_) != 0) {
+    return Status::ExecutionError(
+        StrCat("pipe() failed: ", std::strerror(errno)));
+  }
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    Stop();
+    return Status::ExecutionError(
+        StrCat("socket() failed: ", std::strerror(errno)));
+  }
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);  // local scrapes only
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr),
+             sizeof(addr)) != 0 ||
+      ::listen(listen_fd_, 16) != 0) {
+    const std::string err = std::strerror(errno);
+    Stop();
+    return Status::ExecutionError(
+        StrCat("cannot listen on 127.0.0.1:", port, ": ", err));
+  }
+  socklen_t addr_len = sizeof(addr);
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr),
+                    &addr_len) != 0) {
+    const std::string err = std::strerror(errno);
+    Stop();
+    return Status::ExecutionError(
+        StrCat("getsockname() failed: ", err));
+  }
+  port_ = ntohs(addr.sin_port);
+  running_.store(true, std::memory_order_release);
+  thread_ = std::thread([this] { AcceptLoop(); });
+  return Status::OK();
+}
+
+void ObsServer::Stop() {
+  if (running_.exchange(false, std::memory_order_acq_rel) &&
+      wake_pipe_[1] >= 0) {
+    const char byte = 'x';
+    [[maybe_unused]] ssize_t n = ::write(wake_pipe_[1], &byte, 1);
+  }
+  if (thread_.joinable()) thread_.join();
+  for (int* fd : {&listen_fd_, &wake_pipe_[0], &wake_pipe_[1]}) {
+    if (*fd >= 0) {
+      ::close(*fd);
+      *fd = -1;
+    }
+  }
+  port_ = 0;
+}
+
+void ObsServer::AcceptLoop() {
+  while (running_.load(std::memory_order_acquire)) {
+    pollfd fds[2];
+    fds[0] = {listen_fd_, POLLIN, 0};
+    fds[1] = {wake_pipe_[0], POLLIN, 0};
+    const int ready = ::poll(fds, 2, /*timeout_ms=*/-1);
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    if (fds[1].revents != 0) break;  // Stop() woke us
+    if ((fds[0].revents & POLLIN) == 0) continue;
+    const int client_fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (client_fd < 0) continue;
+    ServeConnection(client_fd);
+    ::close(client_fd);
+  }
+}
+
+void ObsServer::ServeConnection(int client_fd) {
+  // A slow or stalled client must not wedge the (serial) server thread.
+  timeval timeout{/*tv_sec=*/2, /*tv_usec=*/0};
+  ::setsockopt(client_fd, SOL_SOCKET, SO_RCVTIMEO, &timeout,
+               sizeof(timeout));
+  // Read until the end of the header block; requests have no body (GET).
+  std::string raw;
+  char buf[4096];
+  while (raw.size() < 16 * 1024 &&
+         raw.find("\r\n\r\n") == std::string::npos) {
+    const ssize_t n = ::recv(client_fd, buf, sizeof(buf), 0);
+    if (n <= 0) break;
+    raw.append(buf, static_cast<size_t>(n));
+  }
+  const size_t line_end = raw.find("\r\n");
+  if (line_end == std::string::npos) return;  // not even a request line
+  ObsRequest request;
+  if (!ParseRequestLine(raw.substr(0, line_end), &request)) {
+    SendAll(client_fd, SerializeResponse(
+                           SimpleResponse(400, "malformed request\n")));
+    return;
+  }
+  SendAll(client_fd, SerializeResponse(Dispatch(endpoints_, request)));
+}
+
+}  // namespace starmagic::obs

@@ -1,0 +1,111 @@
+#ifndef STARMAGIC_NET_OBS_SERVER_H_
+#define STARMAGIC_NET_OBS_SERVER_H_
+
+#include <atomic>
+#include <cstddef>
+#include <functional>
+#include <map>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/status.h"
+
+namespace starmagic::obs {
+
+/// One parsed HTTP request (method + %-decoded path + query parameters).
+struct ObsRequest {
+  std::string method;
+  std::string path;  ///< %-decoded, without the query string
+  std::map<std::string, std::string> params;
+};
+
+/// One HTTP response the server serializes with Content-Length and
+/// `Connection: close`.
+struct ObsResponse {
+  int status = 200;
+  std::string content_type = "text/plain; charset=utf-8";
+  std::string body;
+};
+
+/// The handler set the server dispatches to. Built for the engine by
+/// MakeObsEndpoints (obs/exporter.h); tests may stub individual handlers.
+/// All handlers run on the server thread and must be thread-safe against
+/// the engine's query threads.
+struct ObsEndpoints {
+  /// GET /metrics — OpenMetrics text exposition.
+  std::function<ObsResponse()> metrics;
+  /// GET /healthz — liveness probe.
+  std::function<ObsResponse()> healthz;
+  /// GET /sys/<table>?format=json|csv — snapshot of one sys.* table.
+  /// `table` is the bare name ("metrics", not "sys.metrics").
+  std::function<ObsResponse(const std::string& table,
+                            const std::string& format)>
+      sys_table;
+};
+
+/// One row of the server's route table — the machine-readable source the
+/// docs (docs/metrics-export.md) are reconciled against by doc_check.py.
+struct ObsRoute {
+  const char* method;
+  const char* pattern;
+  const char* description;
+};
+
+/// A dependency-free HTTP/1.1 observability server on a background thread:
+/// POSIX sockets, bound to 127.0.0.1 only, a poll()-based accept loop with
+/// a self-pipe for prompt shutdown, one request served per connection
+/// (`Connection: close`). Serves exactly the routes in Routes(). Request
+/// handling is serial — the intended clients are a metrics scraper and a
+/// human with curl, not production traffic.
+///
+///   ObsServer server(obs::MakeObsEndpoints(&db, &metrics));
+///   SM_RETURN_IF_ERROR(server.Start(0));   // 0 = ephemeral port
+///   ... scrape http://127.0.0.1:<server.port()>/metrics ...
+///   server.Stop();
+class ObsServer {
+ public:
+  explicit ObsServer(ObsEndpoints endpoints);
+  ~ObsServer();  ///< calls Stop()
+  ObsServer(const ObsServer&) = delete;
+  ObsServer& operator=(const ObsServer&) = delete;
+
+  /// Binds 127.0.0.1:`port` (0 picks an ephemeral port, readable from
+  /// port() afterwards) and starts the accept thread. InvalidArgument if
+  /// already running; ExecutionError on socket/bind failure (e.g. the
+  /// port is taken).
+  Status Start(int port);
+
+  /// Stops the accept loop (self-pipe wakeup), joins the server thread,
+  /// and closes the listening socket. Idempotent.
+  void Stop();
+
+  bool running() const { return running_.load(std::memory_order_acquire); }
+
+  /// The bound port; 0 when not running.
+  int port() const { return port_; }
+
+  /// The static route table this server dispatches on.
+  static const std::vector<ObsRoute>& Routes();
+
+  /// Pure request dispatch (no sockets) — the unit-testable core.
+  /// Unknown paths get 404; known paths with a method other than the
+  /// route's get 405.
+  static ObsResponse Dispatch(const ObsEndpoints& endpoints,
+                              const ObsRequest& request);
+
+ private:
+  void AcceptLoop();
+  void ServeConnection(int client_fd);
+
+  ObsEndpoints endpoints_;
+  std::atomic<bool> running_{false};
+  int listen_fd_ = -1;
+  int wake_pipe_[2] = {-1, -1};  ///< self-pipe: Stop() writes, poll() wakes
+  int port_ = 0;
+  std::thread thread_;
+};
+
+}  // namespace starmagic::obs
+
+#endif  // STARMAGIC_NET_OBS_SERVER_H_

@@ -1,0 +1,239 @@
+#include "obs/exporter.h"
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "common/string_util.h"
+#include "engine/database.h"
+#include "obs/json_util.h"
+
+namespace starmagic::obs {
+
+namespace {
+
+// Exposition-format float: OpenMetrics spells non-finite values "+Inf" /
+// "-Inf" / "NaN" (FormatDouble says "Infinity", which scrapers reject).
+std::string MetricNumber(double v) {
+  if (std::isnan(v)) return "NaN";
+  if (std::isinf(v)) return v > 0 ? "+Inf" : "-Inf";
+  return FormatDouble(v);
+}
+
+// HELP text is free-form but must escape backslash and newline.
+std::string HelpEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '\\') {
+      out += "\\\\";
+    } else if (c == '\n') {
+      out += "\\n";
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
+void EmitGauge(std::string* out, const std::string& family,
+               const std::string& help, const std::string& value) {
+  *out += StrCat("# HELP ", family, " ", help, "\n");
+  *out += StrCat("# TYPE ", family, " gauge\n");
+  *out += StrCat(family, " ", value, "\n");
+}
+
+}  // namespace
+
+std::string OpenMetricsName(const std::string& name) {
+  std::string out = "starmagic_";
+  out.reserve(out.size() + name.size());
+  for (char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == ':';
+    out.push_back(ok ? c : '_');
+  }
+  return out;
+}
+
+std::string OpenMetricsText(const MetricsRegistry* metrics,
+                            const ProgressRegistry* progress) {
+  std::string out;
+  if (metrics != nullptr) {
+    metrics->ForEachCounter([&out](const std::string& name,
+                                   const Counter& counter) {
+      const std::string family = OpenMetricsName(name);
+      out += StrCat("# HELP ", family, " Counter ", HelpEscape(name), ".\n");
+      out += StrCat("# TYPE ", family, " counter\n");
+      out += StrCat(family, "_total ", counter.value(), "\n");
+    });
+    metrics->ForEachHistogram([&out](const std::string& name,
+                                     const Histogram& h) {
+      const std::string family = OpenMetricsName(name);
+      out += StrCat("# HELP ", family, " Histogram ", HelpEscape(name),
+                    " (power-of-two buckets).\n");
+      out += StrCat("# TYPE ", family, " histogram\n");
+      // Cumulative buckets over the non-empty power-of-two cells. The
+      // +Inf bucket and _count use the bucket total rather than count()
+      // so a scrape racing an Observe stays internally consistent
+      // (OpenMetrics requires _count == the +Inf bucket).
+      const std::vector<int64_t> buckets = h.buckets();
+      int64_t cumulative = 0;
+      for (int b = 0; b < static_cast<int>(buckets.size()); ++b) {
+        if (buckets[static_cast<size_t>(b)] == 0) continue;
+        cumulative += buckets[static_cast<size_t>(b)];
+        // Bucket 0 is (-inf, 1); bucket k >= 1 is [2^(k-1), 2^k).
+        const double upper = b == 0 ? 1.0 : std::ldexp(1.0, b);
+        out += StrCat(family, "_bucket{le=\"", MetricNumber(upper), "\"} ",
+                      cumulative, "\n");
+      }
+      out += StrCat(family, "_bucket{le=\"+Inf\"} ", cumulative, "\n");
+      out += StrCat(family, "_sum ", MetricNumber(h.sum()), "\n");
+      out += StrCat(family, "_count ", cumulative, "\n");
+      for (const auto& [suffix, p] :
+           {std::pair<const char*, double>{"_p50", 50},
+            std::pair<const char*, double>{"_p95", 95},
+            std::pair<const char*, double>{"_p99", 99}}) {
+        EmitGauge(&out, StrCat(family, suffix),
+                  StrCat("Bucket-derived percentile of ", HelpEscape(name),
+                         "."),
+                  MetricNumber(h.Percentile(p)));
+      }
+    });
+  }
+  if (progress != nullptr) {
+    EmitGauge(&out, "starmagic_active_queries",
+              "Queries currently executing (sys.active_queries rows).",
+              StrCat(progress->active_count()));
+  }
+  out += "# EOF\n";
+  return out;
+}
+
+std::string TableToJson(const Table& table) {
+  std::string out = StrCat("{\"table\": \"", JsonEscape(table.name()),
+                           "\", \"columns\": [");
+  const Schema& schema = table.schema();
+  for (int c = 0; c < schema.num_columns(); ++c) {
+    if (c > 0) out += ", ";
+    out += StrCat("\"", JsonEscape(schema.column(c).name), "\"");
+  }
+  out += "], \"rows\": [";
+  bool first_row = true;
+  for (const Row& row : table.rows()) {
+    out += first_row ? "[" : ", [";
+    first_row = false;
+    for (size_t c = 0; c < row.size(); ++c) {
+      if (c > 0) out += ", ";
+      const Value& v = row[c];
+      switch (v.kind()) {
+        case ValueKind::kNull:
+          out += "null";
+          break;
+        case ValueKind::kBool:
+          out += v.bool_value() ? "true" : "false";
+          break;
+        case ValueKind::kInt:
+          out += StrCat(v.int_value());
+          break;
+        case ValueKind::kDouble:
+          out += std::isfinite(v.double_value())
+                     ? FormatDouble(v.double_value())
+                     : "null";
+          break;
+        case ValueKind::kString:
+          out += StrCat("\"", JsonEscape(v.string_value()), "\"");
+          break;
+      }
+    }
+    out += "]";
+  }
+  out += StrCat("], \"row_count\": ", table.num_rows(), "}\n");
+  return out;
+}
+
+namespace {
+
+std::string CsvField(const std::string& s) {
+  if (s.find_first_of(",\"\n\r") == std::string::npos) return s;
+  std::string out = "\"";
+  for (char c : s) {
+    if (c == '"') out += "\"\"";
+    else out.push_back(c);
+  }
+  out += "\"";
+  return out;
+}
+
+}  // namespace
+
+std::string TableToCsv(const Table& table) {
+  std::string out;
+  const Schema& schema = table.schema();
+  for (int c = 0; c < schema.num_columns(); ++c) {
+    if (c > 0) out += ',';
+    out += CsvField(schema.column(c).name);
+  }
+  out += '\n';
+  for (const Row& row : table.rows()) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      if (c > 0) out += ',';
+      const Value& v = row[c];
+      if (!v.is_null()) out += CsvField(v.ToString());
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+ObsEndpoints MakeObsEndpoints(const Database* db, MetricsRegistry* metrics) {
+  ObsEndpoints endpoints;
+  endpoints.metrics = [db, metrics]() {
+    ObsResponse response;
+    response.content_type = kOpenMetricsContentType;
+    response.body =
+        OpenMetricsText(metrics, db != nullptr ? db->progress() : nullptr);
+    return response;
+  };
+  endpoints.healthz = []() {
+    ObsResponse response;
+    response.body = "ok\n";
+    return response;
+  };
+  endpoints.sys_table = [db, metrics](const std::string& table,
+                                      const std::string& format) {
+    ObsResponse response;
+    if (db == nullptr) {
+      response.status = 503;
+      response.body = "no database attached\n";
+      return response;
+    }
+    if (format != "json" && format != "csv") {
+      response.status = 400;
+      response.body = StrCat("unknown format '", format,
+                             "' (expected json or csv)\n");
+      return response;
+    }
+    QueryOptions options;
+    options.internal = true;  // observe without perturbing
+    options.metrics = metrics;
+    Result<Table> snapshot = db->SnapshotSysTable(StrCat("sys.", table),
+                                                  options);
+    if (!snapshot.ok()) {
+      response.status = 404;
+      response.body = StrCat(snapshot.status().ToString(), "\n");
+      return response;
+    }
+    if (format == "csv") {
+      response.content_type = "text/csv; charset=utf-8";
+      response.body = TableToCsv(*snapshot);
+    } else {
+      response.content_type = "application/json; charset=utf-8";
+      response.body = TableToJson(*snapshot);
+    }
+    return response;
+  };
+  return endpoints;
+}
+
+}  // namespace starmagic::obs

@@ -1,0 +1,56 @@
+#ifndef STARMAGIC_OBS_EXPORTER_H_
+#define STARMAGIC_OBS_EXPORTER_H_
+
+#include <string>
+
+#include "catalog/table.h"
+#include "net/obs_server.h"
+#include "obs/metrics.h"
+#include "obs/progress.h"
+
+namespace starmagic {
+class Database;
+}  // namespace starmagic
+
+namespace starmagic::obs {
+
+/// Content-Type of the OpenMetrics text exposition format.
+inline constexpr const char* kOpenMetricsContentType =
+    "application/openmetrics-text; version=1.0.0; charset=utf-8";
+
+/// Mangles an internal hierarchical metric name ("rewrite.fires.merge")
+/// into an OpenMetrics family name: "starmagic_" prefix, every character
+/// outside [a-zA-Z0-9_:] becomes '_'.
+std::string OpenMetricsName(const std::string& name);
+
+/// The full OpenMetrics text exposition of `metrics` (counters as
+/// `<family>_total`, histograms with cumulative power-of-two `_bucket{le=}`
+/// series plus `_sum`/`_count` and bucket-derived `_p50`/`_p95`/`_p99`
+/// gauges), plus a `starmagic_active_queries` gauge from `progress`.
+/// Every family carries HELP and TYPE lines; the exposition ends with
+/// `# EOF`. Both pointers may be null (their sections are skipped).
+/// Safe to call from any thread — reads go through the locked/atomic
+/// registry paths.
+std::string OpenMetricsText(const MetricsRegistry* metrics,
+                            const ProgressRegistry* progress);
+
+/// `table` as one JSON object: {"table": name, "columns": [...],
+/// "rows": [[...], ...], "row_count": N}. Strings are JsonEscape'd; NULL
+/// and non-finite doubles become JSON null.
+std::string TableToJson(const Table& table);
+
+/// `table` as RFC-4180-style CSV: a header line of column names, then one
+/// line per row. Fields containing ',', '"', or newlines are quoted with
+/// embedded quotes doubled; NULL renders as the empty field.
+std::string TableToCsv(const Table& table);
+
+/// Binds the three observability endpoints to `db` + `metrics`:
+/// GET /metrics (OpenMetricsText), GET /healthz ("ok"), and
+/// GET /sys/<table>?format=json|csv (Database::SnapshotSysTable with an
+/// internal QueryOptions, so scrapes never perturb what they observe).
+/// Both pointers are borrowed and must outlive the returned endpoints.
+ObsEndpoints MakeObsEndpoints(const Database* db, MetricsRegistry* metrics);
+
+}  // namespace starmagic::obs
+
+#endif  // STARMAGIC_OBS_EXPORTER_H_

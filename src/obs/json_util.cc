@@ -1,0 +1,105 @@
+#include "obs/json_util.h"
+
+#include <cstdio>
+
+namespace starmagic::obs {
+
+namespace {
+
+// Length of the well-formed UTF-8 sequence starting at s[i], or 0 when the
+// bytes at s[i] do not begin one. Rejects overlong encodings, surrogate
+// code points (U+D800..U+DFFF), and code points above U+10FFFF, per the
+// Unicode 15 table of well-formed byte sequences.
+size_t Utf8SequenceLength(const std::string& s, size_t i) {
+  const unsigned char b0 = static_cast<unsigned char>(s[i]);
+  auto cont = [&](size_t off, unsigned char lo, unsigned char hi) {
+    if (i + off >= s.size()) return false;
+    const unsigned char b = static_cast<unsigned char>(s[i + off]);
+    return b >= lo && b <= hi;
+  };
+  if (b0 >= 0xC2 && b0 <= 0xDF) {
+    return cont(1, 0x80, 0xBF) ? 2 : 0;
+  }
+  if (b0 == 0xE0) {
+    return cont(1, 0xA0, 0xBF) && cont(2, 0x80, 0xBF) ? 3 : 0;
+  }
+  if ((b0 >= 0xE1 && b0 <= 0xEC) || b0 == 0xEE || b0 == 0xEF) {
+    return cont(1, 0x80, 0xBF) && cont(2, 0x80, 0xBF) ? 3 : 0;
+  }
+  if (b0 == 0xED) {  // excludes surrogates
+    return cont(1, 0x80, 0x9F) && cont(2, 0x80, 0xBF) ? 3 : 0;
+  }
+  if (b0 == 0xF0) {
+    return cont(1, 0x90, 0xBF) && cont(2, 0x80, 0xBF) && cont(3, 0x80, 0xBF)
+               ? 4
+               : 0;
+  }
+  if (b0 >= 0xF1 && b0 <= 0xF3) {
+    return cont(1, 0x80, 0xBF) && cont(2, 0x80, 0xBF) && cont(3, 0x80, 0xBF)
+               ? 4
+               : 0;
+  }
+  if (b0 == 0xF4) {  // excludes > U+10FFFF
+    return cont(1, 0x80, 0x8F) && cont(2, 0x80, 0xBF) && cont(3, 0x80, 0xBF)
+               ? 4
+               : 0;
+  }
+  return 0;  // 0x80..0xC1, 0xF5..0xFF: never a valid lead byte
+}
+
+}  // namespace
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (size_t i = 0; i < s.size();) {
+    const char c = s[i];
+    const unsigned char b = static_cast<unsigned char>(c);
+    if (b < 0x80) {
+      switch (c) {
+        case '"':
+          out += "\\\"";
+          break;
+        case '\\':
+          out += "\\\\";
+          break;
+        case '\n':
+          out += "\\n";
+          break;
+        case '\r':
+          out += "\\r";
+          break;
+        case '\t':
+          out += "\\t";
+          break;
+        case '\b':
+          out += "\\b";
+          break;
+        case '\f':
+          out += "\\f";
+          break;
+        default:
+          if (b < 0x20) {
+            char buf[8];
+            std::snprintf(buf, sizeof(buf), "\\u%04x", b);
+            out += buf;
+          } else {
+            out += c;
+          }
+      }
+      ++i;
+      continue;
+    }
+    const size_t len = Utf8SequenceLength(s, i);
+    if (len == 0) {
+      out += "\\ufffd";  // one replacement per malformed byte
+      ++i;
+    } else {
+      out.append(s, i, len);
+      i += len;
+    }
+  }
+  return out;
+}
+
+}  // namespace starmagic::obs

@@ -1,0 +1,22 @@
+#ifndef STARMAGIC_OBS_JSON_UTIL_H_
+#define STARMAGIC_OBS_JSON_UTIL_H_
+
+#include <string>
+
+namespace starmagic::obs {
+
+/// Escapes `s` for inclusion inside a JSON string literal. The one escape
+/// routine shared by trace export, bench reports, and the HTTP exporter:
+///   - mandatory escapes: `"` and `\`
+///   - control-character shorthands: \n \r \t \b \f
+///   - every other byte < 0x20 as \u00XX
+///   - well-formed UTF-8 multi-byte sequences pass through unchanged
+///   - each byte of a malformed UTF-8 sequence (stray continuation byte,
+///     truncated sequence, overlong encoding, surrogate, > U+10FFFF)
+///     becomes the escape � (U+FFFD), so the output is always valid
+///     UTF-8 JSON
+std::string JsonEscape(const std::string& s);
+
+}  // namespace starmagic::obs
+
+#endif  // STARMAGIC_OBS_JSON_UTIL_H_

@@ -8,26 +8,49 @@
 namespace starmagic {
 
 void Histogram::Observe(double value) {
-  ++count_;
-  sum_ += value;
-  if (value < min_) min_ = value;
-  if (value > max_) max_ = value;
+  count_.fetch_add(1, std::memory_order_relaxed);
+  // C++17 has no fetch_add for atomic<double>; CAS loops keep the update
+  // race-free against concurrent Observe calls and scrape-path readers.
+  double cur = sum_.load(std::memory_order_relaxed);
+  while (!sum_.compare_exchange_weak(cur, cur + value,
+                                     std::memory_order_relaxed)) {
+  }
+  cur = min_.load(std::memory_order_relaxed);
+  while (value < cur &&
+         !min_.compare_exchange_weak(cur, value, std::memory_order_relaxed)) {
+  }
+  cur = max_.load(std::memory_order_relaxed);
+  while (value > cur &&
+         !max_.compare_exchange_weak(cur, value, std::memory_order_relaxed)) {
+  }
   int bucket = 0;
   if (value >= 1) {
     bucket = 1 + static_cast<int>(std::log2(value));
     if (bucket >= kNumBuckets) bucket = kNumBuckets - 1;
   }
-  ++buckets_[static_cast<size_t>(bucket)];
+  buckets_[static_cast<size_t>(bucket)].fetch_add(1,
+                                                  std::memory_order_relaxed);
+}
+
+std::vector<int64_t> Histogram::buckets() const {
+  std::vector<int64_t> out(kNumBuckets, 0);
+  for (int i = 0; i < kNumBuckets; ++i) {
+    out[static_cast<size_t>(i)] =
+        buckets_[static_cast<size_t>(i)].load(std::memory_order_relaxed);
+  }
+  return out;
 }
 
 double Histogram::Percentile(double p) const {
-  if (count_ == 0) return 0;
+  const int64_t n = count();
+  if (n == 0) return 0;
   p = std::max(0.0, std::min(100.0, p));
   int64_t target =
-      std::max<int64_t>(1, static_cast<int64_t>(std::ceil(p / 100.0 * count_)));
+      std::max<int64_t>(1, static_cast<int64_t>(std::ceil(p / 100.0 * n)));
   int64_t cumulative = 0;
   for (int bucket = 0; bucket < kNumBuckets; ++bucket) {
-    cumulative += buckets_[static_cast<size_t>(bucket)];
+    cumulative +=
+        buckets_[static_cast<size_t>(bucket)].load(std::memory_order_relaxed);
     if (cumulative >= target) {
       // Bucket 0 is (-inf, 1); bucket k >= 1 is [2^(k-1), 2^k).
       double upper = bucket == 0 ? 1.0 : std::ldexp(1.0, bucket);
@@ -38,7 +61,7 @@ double Histogram::Percentile(double p) const {
 }
 
 std::string Histogram::ToString() const {
-  return StrCat("count=", count_, " sum=", FormatDouble(sum_),
+  return StrCat("count=", count(), " sum=", FormatDouble(sum()),
                 " min=", FormatDouble(min()), " max=", FormatDouble(max()),
                 " mean=", FormatDouble(mean()),
                 " p50=", FormatDouble(Percentile(50)),
@@ -46,17 +69,50 @@ std::string Histogram::ToString() const {
                 " p99=", FormatDouble(Percentile(99)));
 }
 
+Counter* MetricsRegistry::counter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return &counters_[name];
+}
+
+Histogram* MetricsRegistry::histogram(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return &histograms_[name];
+}
+
 int64_t MetricsRegistry::CounterValue(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = counters_.find(name);
   return it == counters_.end() ? 0 : it->second.value();
 }
 
+const Histogram* MetricsRegistry::FindHistogram(
+    const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = histograms_.find(name);
+  return it == histograms_.end() ? nullptr : &it->second;
+}
+
+void MetricsRegistry::ForEachCounter(
+    const std::function<void(const std::string&, const Counter&)>& fn) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [name, counter] : counters_) fn(name, counter);
+}
+
+void MetricsRegistry::ForEachHistogram(
+    const std::function<void(const std::string&, const Histogram&)>& fn)
+    const {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [name, histogram] : histograms_) fn(name, histogram);
+}
+
 void MetricsRegistry::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
   counters_.clear();
   histograms_.clear();
 }
 
 std::string MetricsRegistry::ToString() const {
+  std::lock_guard<std::mutex> lock(mu_);
   std::string out;
   for (const auto& [name, counter] : counters_) {
     out += StrCat(name, " ", counter.value(), "\n");
@@ -69,10 +125,11 @@ std::string MetricsRegistry::ToString() const {
 
 std::string QErrorReport(const MetricsRegistry& metrics) {
   std::string out;
-  for (const auto& [name, histogram] : metrics.histograms()) {
-    if (name.rfind("qerror.", 0) != 0) continue;
-    out += StrCat(name, " ", histogram.ToString(), "\n");
-  }
+  metrics.ForEachHistogram(
+      [&out](const std::string& name, const Histogram& histogram) {
+        if (name.rfind("qerror.", 0) != 0) return;
+        out += StrCat(name, " ", histogram.ToString(), "\n");
+      });
   if (out.empty()) out = "(no q-error data recorded)\n";
   return out;
 }

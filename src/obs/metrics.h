@@ -1,10 +1,13 @@
 #ifndef STARMAGIC_OBS_METRICS_H_
 #define STARMAGIC_OBS_METRICS_H_
 
+#include <array>
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <limits>
 #include <map>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -12,8 +15,7 @@ namespace starmagic {
 
 /// A monotonically increasing named count (rule fires, cache hits, ...).
 /// Increments are atomic so counters obtained before a parallel region
-/// may be bumped from worker threads; counter *lookup* (the registry) is
-/// still coordinator-only.
+/// may be bumped from worker threads.
 class Counter {
  public:
   void Add(int64_t delta = 1) {
@@ -28,18 +30,35 @@ class Counter {
 /// A distribution of observed values: count/sum/min/max plus power-of-two
 /// buckets (bucket k counts observations in [2^(k-1), 2^k); bucket 0 is
 /// (-inf, 1)). Deterministic for deterministic inputs.
+///
+/// Every field is atomic, so Observe may race with readers (the HTTP
+/// scrape path) without tearing: a mid-update reader sees some fields from
+/// before the observation and some after, which is fine for monitoring.
+/// Quiesced reads (tests, end-of-query dumps) are exact.
 class Histogram {
  public:
   static constexpr int kNumBuckets = 32;
 
+  Histogram() = default;
+  Histogram(const Histogram&) = delete;
+  Histogram& operator=(const Histogram&) = delete;
+
   void Observe(double value);
 
-  int64_t count() const { return count_; }
-  double sum() const { return sum_; }
-  double min() const { return count_ == 0 ? 0 : min_; }
-  double max() const { return count_ == 0 ? 0 : max_; }
-  double mean() const { return count_ == 0 ? 0 : sum_ / count_; }
-  const std::vector<int64_t>& buckets() const { return buckets_; }
+  int64_t count() const { return count_.load(std::memory_order_relaxed); }
+  double sum() const { return sum_.load(std::memory_order_relaxed); }
+  double min() const {
+    return count() == 0 ? 0 : min_.load(std::memory_order_relaxed);
+  }
+  double max() const {
+    return count() == 0 ? 0 : max_.load(std::memory_order_relaxed);
+  }
+  double mean() const {
+    const int64_t n = count();
+    return n == 0 ? 0 : sum() / n;
+  }
+  /// A copy of the bucket counts (atomics cannot hand out a reference).
+  std::vector<int64_t> buckets() const;
 
   /// The p-th percentile (p in [0, 100]) derived from the power-of-two
   /// buckets: the upper edge of the first bucket whose cumulative count
@@ -53,11 +72,11 @@ class Histogram {
   std::string ToString() const;
 
  private:
-  int64_t count_ = 0;
-  double sum_ = 0;
-  double min_ = std::numeric_limits<double>::infinity();
-  double max_ = -std::numeric_limits<double>::infinity();
-  std::vector<int64_t> buckets_ = std::vector<int64_t>(kNumBuckets, 0);
+  std::atomic<int64_t> count_{0};
+  std::atomic<double> sum_{0};
+  std::atomic<double> min_{std::numeric_limits<double>::infinity()};
+  std::atomic<double> max_{-std::numeric_limits<double>::infinity()};
+  std::array<std::atomic<int64_t>, kNumBuckets> buckets_{};
 };
 
 /// A registry of named counters and histograms. Names are hierarchical by
@@ -65,18 +84,33 @@ class Histogram {
 /// is name-sorted, so dumps are deterministic. Returned pointers remain
 /// valid for the registry's lifetime (std::map node stability).
 ///
-/// Thread-safety: counter()/histogram() *lookup* and Histogram::Observe
-/// are coordinator-only (they mutate the maps / non-atomic state), but a
-/// Counter pointer obtained before a parallel region may be Add()ed from
-/// worker threads — increments are atomic.
+/// Thread-safety: map mutation (first use of a name) and iteration are
+/// serialized by an internal mutex, and both Counter::Add and
+/// Histogram::Observe are atomic — so lookups, updates, and the ForEach*/
+/// Find* read paths are all safe from any thread (the HTTP scrape path
+/// reads while queries record). The raw counters()/histograms() map
+/// accessors bypass the lock and are for quiesced (single-threaded)
+/// callers only — tests and end-of-query dumps.
 class MetricsRegistry {
  public:
-  Counter* counter(const std::string& name) { return &counters_[name]; }
-  Histogram* histogram(const std::string& name) { return &histograms_[name]; }
+  Counter* counter(const std::string& name);
+  Histogram* histogram(const std::string& name);
 
   /// Value of a counter, or 0 when it was never touched (no insertion).
   int64_t CounterValue(const std::string& name) const;
 
+  /// The histogram named `name`, or nullptr (no insertion). The pointer
+  /// stays valid until Clear().
+  const Histogram* FindHistogram(const std::string& name) const;
+
+  /// Name-sorted iteration under the registry lock. `fn` must not call
+  /// back into this registry (the lock is not recursive).
+  void ForEachCounter(
+      const std::function<void(const std::string&, const Counter&)>& fn) const;
+  void ForEachHistogram(const std::function<void(const std::string&,
+                                                 const Histogram&)>& fn) const;
+
+  /// Unlocked map access — quiesced callers only (see class comment).
   const std::map<std::string, Counter>& counters() const { return counters_; }
   const std::map<std::string, Histogram>& histograms() const {
     return histograms_;
@@ -89,6 +123,7 @@ class MetricsRegistry {
   std::string ToString() const;
 
  private:
+  mutable std::mutex mu_;
   std::map<std::string, Counter> counters_;
   std::map<std::string, Histogram> histograms_;
 };

@@ -1,0 +1,65 @@
+#include "obs/progress.h"
+
+namespace starmagic {
+
+const char* QueryPhaseName(QueryPhase phase) {
+  switch (phase) {
+    case QueryPhase::kParse:
+      return "parse";
+    case QueryPhase::kOptimize:
+      return "optimize";
+    case QueryPhase::kExecute:
+      return "execute";
+  }
+  return "unknown";
+}
+
+ProgressSnapshot ProgressTracker::Snapshot() const {
+  ProgressSnapshot s;
+  s.id = id_;
+  s.sql = sql_;
+  s.phase = QueryPhaseName(
+      static_cast<QueryPhase>(phase_.load(std::memory_order_relaxed)));
+  s.morsels_done = morsels_done_.load(std::memory_order_relaxed);
+  s.morsels_total = morsels_total_.load(std::memory_order_relaxed);
+  s.est_rows = est_rows_.load(std::memory_order_relaxed);
+  s.rows_produced = rows_produced_.load(std::memory_order_relaxed);
+  s.fixpoint_round = fixpoint_round_.load(std::memory_order_relaxed);
+  s.peak_bytes = peak_bytes_.load(std::memory_order_relaxed);
+  s.elapsed_us = std::chrono::duration_cast<std::chrono::microseconds>(
+                     std::chrono::steady_clock::now() - start_)
+                     .count();
+  return s;
+}
+
+ProgressTracker* ProgressRegistry::Register(std::string sql) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const int64_t id = next_id_++;
+  auto tracker = std::make_unique<ProgressTracker>(id, std::move(sql));
+  ProgressTracker* raw = tracker.get();
+  active_.emplace(id, std::move(tracker));
+  return raw;
+}
+
+void ProgressRegistry::Unregister(ProgressTracker* tracker) {
+  if (tracker == nullptr) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  active_.erase(tracker->id());
+}
+
+std::vector<ProgressSnapshot> ProgressRegistry::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<ProgressSnapshot> out;
+  out.reserve(active_.size());
+  for (const auto& [id, tracker] : active_) {
+    out.push_back(tracker->Snapshot());
+  }
+  return out;
+}
+
+int64_t ProgressRegistry::active_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return static_cast<int64_t>(active_.size());
+}
+
+}  // namespace starmagic

@@ -1,0 +1,149 @@
+#ifndef STARMAGIC_OBS_PROGRESS_H_
+#define STARMAGIC_OBS_PROGRESS_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace starmagic {
+
+/// Where a tracked query currently is in its lifecycle.
+enum class QueryPhase { kParse = 0, kOptimize = 1, kExecute = 2 };
+
+/// "parse" | "optimize" | "execute".
+const char* QueryPhaseName(QueryPhase phase);
+
+/// One consistent-enough view of a running query, taken from any thread.
+/// Individual fields are each read atomically but are not mutually
+/// synchronized — a snapshot may pair the morsel count of instant T with
+/// the row count of instant T+ε, which is fine for observability.
+struct ProgressSnapshot {
+  int64_t id = 0;          ///< monotone per-Database query id
+  std::string sql;         ///< the statement text, verbatim
+  std::string phase;       ///< "parse" | "optimize" | "execute"
+  int64_t morsels_done = 0;
+  int64_t morsels_total = 0;
+  double est_rows = 0;     ///< optimizer estimate for the top box
+  int64_t rows_produced = 0;
+  int64_t fixpoint_round = 0;
+  int64_t peak_bytes = 0;  ///< governor peak at the last checkpoint
+  int64_t elapsed_us = 0;  ///< wall clock since the query was registered
+};
+
+/// Live progress state of one in-flight query. Updates are wait-free
+/// relaxed atomic stores/increments, called from the executor and
+/// WorkerPool hot paths at the existing governor cancellation-check sites;
+/// Snapshot() may be called from any thread at any time (the HTTP scrape
+/// path). The immutable identity (id, sql, start time) is set before the
+/// tracker is published through the ProgressRegistry, so readers never
+/// observe it half-built.
+class ProgressTracker {
+ public:
+  ProgressTracker(int64_t id, std::string sql)
+      : id_(id),
+        sql_(std::move(sql)),
+        start_(std::chrono::steady_clock::now()) {}
+
+  ProgressTracker(const ProgressTracker&) = delete;
+  ProgressTracker& operator=(const ProgressTracker&) = delete;
+
+  int64_t id() const { return id_; }
+
+  // --- wait-free update API (single writer per field in practice for
+  // phase/est/rows/fixpoint; morsel counters are bumped from every
+  // worker thread) --------------------------------------------------------
+  void SetPhase(QueryPhase phase) {
+    phase_.store(static_cast<int>(phase), std::memory_order_relaxed);
+  }
+  void SetEstRows(double est) {
+    est_rows_.store(est, std::memory_order_relaxed);
+  }
+  void AddMorselsTotal(int64_t n) {
+    morsels_total_.fetch_add(n, std::memory_order_relaxed);
+  }
+  void AddMorselDone() {
+    morsels_done_.fetch_add(1, std::memory_order_relaxed);
+  }
+  void SetRowsProduced(int64_t rows) {
+    rows_produced_.store(rows, std::memory_order_relaxed);
+  }
+  void SetFixpointRound(int64_t round) {
+    fixpoint_round_.store(round, std::memory_order_relaxed);
+  }
+  void SetPeakBytes(int64_t bytes) {
+    peak_bytes_.store(bytes, std::memory_order_relaxed);
+  }
+
+  /// Point-in-time view; safe from any thread.
+  ProgressSnapshot Snapshot() const;
+
+ private:
+  const int64_t id_;
+  const std::string sql_;
+  const std::chrono::steady_clock::time_point start_;
+  std::atomic<int> phase_{static_cast<int>(QueryPhase::kParse)};
+  std::atomic<double> est_rows_{0};
+  std::atomic<int64_t> morsels_done_{0};
+  std::atomic<int64_t> morsels_total_{0};
+  std::atomic<int64_t> rows_produced_{0};
+  std::atomic<int64_t> fixpoint_round_{0};
+  std::atomic<int64_t> peak_bytes_{0};
+};
+
+/// The set of currently executing queries of one Database, the source of
+/// sys.active_queries and /sys/active_queries. Registration and snapshot
+/// take a mutex (query start/end and scrapes — cold paths); the per-morsel
+/// updates go straight to the tracker's atomics and never lock.
+class ProgressRegistry {
+ public:
+  /// Publishes a tracker for `sql` and returns it (owned by the registry
+  /// until Unregister). Ids are monotone across the registry's lifetime.
+  ProgressTracker* Register(std::string sql);
+
+  /// Removes (and destroys) `tracker`. No-op for nullptr.
+  void Unregister(ProgressTracker* tracker);
+
+  /// Snapshots of every in-flight query, id-ascending (registration
+  /// order). Safe from any thread.
+  std::vector<ProgressSnapshot> Snapshot() const;
+
+  /// Number of in-flight queries. Safe from any thread.
+  int64_t active_count() const;
+
+ private:
+  mutable std::mutex mu_;
+  int64_t next_id_ = 1;
+  std::map<int64_t, std::unique_ptr<ProgressTracker>> active_;
+};
+
+/// RAII registration of one query in a ProgressRegistry. A null registry
+/// (progress tracking disabled, or an internal observer query) yields a
+/// null tracker, which every update site already tolerates.
+class ProgressScope {
+ public:
+  ProgressScope(ProgressRegistry* registry, std::string sql)
+      : registry_(registry),
+        tracker_(registry == nullptr ? nullptr
+                                     : registry->Register(std::move(sql))) {}
+  ~ProgressScope() {
+    if (registry_ != nullptr) registry_->Unregister(tracker_);
+  }
+
+  ProgressScope(const ProgressScope&) = delete;
+  ProgressScope& operator=(const ProgressScope&) = delete;
+
+  ProgressTracker* tracker() const { return tracker_; }
+
+ private:
+  ProgressRegistry* registry_;
+  ProgressTracker* tracker_;
+};
+
+}  // namespace starmagic
+
+#endif  // STARMAGIC_OBS_PROGRESS_H_

@@ -61,6 +61,7 @@ QueryLog::QueryLog(size_t capacity) : capacity_(std::max<size_t>(1, capacity)) {
 }
 
 void QueryLog::Record(QueryLogEntry entry) {
+  std::lock_guard<std::mutex> lock(mu_);
   entry.id = next_id_++;
   if (ring_.size() < capacity_) {
     ring_.push_back(std::move(entry));
@@ -70,7 +71,17 @@ void QueryLog::Record(QueryLogEntry entry) {
   head_ = (head_ + 1) % capacity_;
 }
 
-std::vector<const QueryLogEntry*> QueryLog::Entries() const {
+size_t QueryLog::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return ring_.size();
+}
+
+int64_t QueryLog::total_recorded() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return next_id_ - 1;
+}
+
+std::vector<const QueryLogEntry*> QueryLog::EntriesLocked() const {
   std::vector<const QueryLogEntry*> out;
   out.reserve(ring_.size());
   // Once the ring is full, `head_` is the oldest slot.
@@ -80,25 +91,40 @@ std::vector<const QueryLogEntry*> QueryLog::Entries() const {
   return out;
 }
 
+std::vector<const QueryLogEntry*> QueryLog::Entries() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return EntriesLocked();
+}
+
 const QueryLogEntry* QueryLog::Latest() const {
+  std::lock_guard<std::mutex> lock(mu_);
   if (ring_.empty()) return nullptr;
   size_t last = (head_ + ring_.size() - 1) % ring_.size();
   return &ring_[last];
 }
 
+std::vector<QueryLogEntry> QueryLog::SnapshotEntries() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<QueryLogEntry> out;
+  out.reserve(ring_.size());
+  for (const QueryLogEntry* e : EntriesLocked()) out.push_back(*e);
+  return out;
+}
+
 std::string QueryLog::Dump(int n) const {
-  std::vector<const QueryLogEntry*> entries = Entries();
+  std::vector<QueryLogEntry> entries = SnapshotEntries();
   size_t keep = n <= 0 ? entries.size()
                        : std::min(entries.size(), static_cast<size_t>(n));
   std::string out;
   for (size_t i = entries.size() - keep; i < entries.size(); ++i) {
-    out += entries[i]->ToString();
+    out += entries[i].ToString();
   }
   if (out.empty()) out = "(query log empty)\n";
   return out;
 }
 
 void QueryLog::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
   ring_.clear();
   head_ = 0;
 }

@@ -2,6 +2,7 @@
 #define STARMAGIC_OBS_QUERY_LOG_H_
 
 #include <cstdint>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -45,6 +46,12 @@ struct QueryLogEntry {
 /// A fixed-capacity ring buffer of QueryLogEntry, owned by Database: the
 /// newest `capacity` queries survive, older ones are overwritten. Entry
 /// ids keep counting across evictions, so gaps reveal discarded history.
+///
+/// Thread-safety: Record and SnapshotEntries/Dump/size/total_recorded are
+/// serialized by an internal mutex, so the HTTP scrape path may read while
+/// queries finish. Entries()/Latest() return pointers into the ring and
+/// are for quiesced (single-threaded) callers only — a concurrent Record
+/// invalidates them.
 class QueryLog {
  public:
   static constexpr size_t kDefaultCapacity = 128;
@@ -55,15 +62,20 @@ class QueryLog {
   /// oldest entry when full.
   void Record(QueryLogEntry entry);
 
-  size_t size() const { return ring_.size(); }
+  size_t size() const;
   size_t capacity() const { return capacity_; }
   /// Total entries ever recorded (>= size() once the ring wraps).
-  int64_t total_recorded() const { return next_id_ - 1; }
+  int64_t total_recorded() const;
 
-  /// Entries oldest-first. Pointers are invalidated by the next Record.
+  /// Entries oldest-first. Pointers are invalidated by the next Record;
+  /// quiesced callers only (see class comment).
   std::vector<const QueryLogEntry*> Entries() const;
-  /// The most recent entry, or nullptr when empty.
+  /// The most recent entry, or nullptr when empty. Quiesced callers only.
   const QueryLogEntry* Latest() const;
+
+  /// Entries oldest-first, copied out under the log's lock — the safe
+  /// variant for readers racing Record (system-table fills, HTTP scrapes).
+  std::vector<QueryLogEntry> SnapshotEntries() const;
 
   /// Text dump of the most recent `n` entries, oldest of those first
   /// (everything retained when n <= 0).
@@ -72,6 +84,10 @@ class QueryLog {
   void Clear();
 
  private:
+  /// Ring slots oldest-first; mu_ must be held.
+  std::vector<const QueryLogEntry*> EntriesLocked() const;
+
+  mutable std::mutex mu_;
   size_t capacity_;
   size_t head_ = 0;  ///< slot the next Record overwrites once full
   int64_t next_id_ = 1;

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "common/status.h"
+#include "obs/json_util.h"
 
 namespace starmagic {
 
@@ -201,8 +202,12 @@ class SpanBuffer {
   std::vector<int> open_stack_;
 };
 
-/// Escapes `s` for inclusion inside a JSON string literal.
-std::string JsonEscape(const std::string& s);
+/// Escapes `s` for inclusion inside a JSON string literal. Forwards to the
+/// shared obs::JsonEscape helper (control chars, quotes, UTF-8 validation)
+/// so trace export and bench reports escape identically.
+inline std::string JsonEscape(const std::string& s) {
+  return obs::JsonEscape(s);
+}
 
 }  // namespace starmagic
 

@@ -5,6 +5,7 @@
 
 #include "common/string_util.h"
 #include "governor/governor.h"
+#include "obs/progress.h"
 
 namespace starmagic {
 
@@ -21,10 +22,11 @@ int64_t ElapsedUs(Clock::time_point since) {
 }  // namespace
 
 WorkerPool::WorkerPool(int num_threads, Tracer* tracer,
-                       ResourceGovernor* governor)
+                       ResourceGovernor* governor, ProgressTracker* progress)
     : num_threads_(std::max(1, num_threads)),
       tracer_(tracer),
-      governor_(governor) {
+      governor_(governor),
+      progress_(progress) {
   helpers_.reserve(static_cast<size_t>(num_threads_ - 1));
   for (int w = 1; w < num_threads_; ++w) {
     helpers_.emplace_back([this, w] { HelperMain(w); });
@@ -76,6 +78,9 @@ void WorkerPool::RunLoop(int worker_id) {
     ++local_morsels;
     // Cooperative cancellation point: poll the governor before starting
     // each morsel so cancel/deadline aborts land at morsel granularity.
+    // The progress bump shares the site — one wait-free relaxed increment
+    // visible to concurrent sys.active_queries snapshots.
+    if (progress_ != nullptr) progress_->AddMorselDone();
     Status status =
         governor_ != nullptr ? governor_->CheckPoint() : Status::OK();
     if (status.ok()) status = (*fn_)(morsel, begin, end, worker_id);
@@ -107,6 +112,7 @@ Status WorkerPool::ForEachMorsel(int64_t total, int64_t morsel_size,
                                  const MorselFn& fn) {
   if (total <= 0) return Status::OK();
   queue_.Reset(total, morsel_size);
+  if (progress_ != nullptr) progress_->AddMorselsTotal(queue_.num_morsels());
   tracing_ = tracer_ != nullptr && tracer_->enabled();
   span_buffers_.assign(
       tracing_ ? static_cast<size_t>(num_threads_) : 0, SpanBuffer{});

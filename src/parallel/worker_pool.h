@@ -14,6 +14,7 @@
 
 namespace starmagic {
 
+class ProgressTracker;
 class ResourceGovernor;
 
 /// A fixed pool of worker threads executing morsel-driven loops over row
@@ -47,8 +48,13 @@ class WorkerPool {
   /// recorded as that morsel's error — its message names only the
   /// configured limit, so the surfaced Status is identical at any thread
   /// count even though *which* morsel trips first is scheduling-dependent.
+  /// `progress` may be null; when set, each loop adds its morsel count to
+  /// the tracker's total and each claimed morsel bumps morsels-done — both
+  /// wait-free relaxed atomics, piggybacked on the governor checkpoint so
+  /// the hot path gains no new synchronization.
   explicit WorkerPool(int num_threads, Tracer* tracer = nullptr,
-                      ResourceGovernor* governor = nullptr);
+                      ResourceGovernor* governor = nullptr,
+                      ProgressTracker* progress = nullptr);
   ~WorkerPool();
 
   WorkerPool(const WorkerPool&) = delete;
@@ -75,6 +81,7 @@ class WorkerPool {
   const int num_threads_;
   Tracer* const tracer_;
   ResourceGovernor* const governor_;
+  ProgressTracker* const progress_;
   ParallelStats stats_;
 
   std::mutex mu_;

@@ -6,6 +6,7 @@
 #include "catalog/catalog.h"
 #include "common/string_util.h"
 #include "obs/metrics.h"
+#include "obs/progress.h"
 #include "obs/query_log.h"
 
 namespace starmagic {
@@ -100,6 +101,16 @@ constexpr const char* kSysSchemaSpec[] = {
     "sys.settings|source|TEXT",
     "sys.governor|name|TEXT",
     "sys.governor|value|INTEGER",
+    "sys.active_queries|id|INTEGER",
+    "sys.active_queries|sql|TEXT",
+    "sys.active_queries|phase|TEXT",
+    "sys.active_queries|morsels_done|INTEGER",
+    "sys.active_queries|morsels_total|INTEGER",
+    "sys.active_queries|est_rows|DOUBLE",
+    "sys.active_queries|rows_produced|INTEGER",
+    "sys.active_queries|fixpoint_round|INTEGER",
+    "sys.active_queries|peak_bytes|INTEGER",
+    "sys.active_queries|elapsed_us|INTEGER",
 };
 // doc_check:sys-schema-end
 
@@ -117,31 +128,36 @@ ColumnType ParseSpecType(const std::string& type) {
 
 // Counters first, then histograms, each name-sorted — the same order as
 // MetricsRegistry::ToString, so dumps and sys scans agree line for line.
+// The locked ForEach* paths keep fills safe against concurrent recording
+// (the HTTP scrape materializes these tables off the coordinator thread).
 std::vector<Row> FillMetrics(const SysEngineState& s) {
   std::vector<Row> rows;
   if (s.metrics == nullptr) return rows;
-  for (const auto& [name, counter] : s.metrics->counters()) {
+  s.metrics->ForEachCounter([&rows](const std::string& name,
+                                    const Counter& counter) {
     rows.push_back(Row{Value::String(name), Value::String("counter"),
                        Value::Int(counter.value()), Value::Null(),
                        Value::Null(), Value::Null(), Value::Null(),
                        Value::Null(), Value::Null(), Value::Null()});
-  }
-  for (const auto& [name, h] : s.metrics->histograms()) {
+  });
+  s.metrics->ForEachHistogram([&rows](const std::string& name,
+                                      const Histogram& h) {
     rows.push_back(Row{Value::String(name), Value::String("histogram"),
                        Value::Int(h.count()), Value::Double(h.sum()),
                        Value::Double(h.min()), Value::Double(h.max()),
                        Value::Double(h.mean()), Value::Double(h.Percentile(50)),
                        Value::Double(h.Percentile(95)),
                        Value::Double(h.Percentile(99))});
-  }
+  });
   return rows;
 }
 
 std::vector<Row> FillHistogramBuckets(const SysEngineState& s) {
   std::vector<Row> rows;
   if (s.metrics == nullptr) return rows;
-  for (const auto& [name, h] : s.metrics->histograms()) {
-    const std::vector<int64_t>& buckets = h.buckets();
+  s.metrics->ForEachHistogram([&rows](const std::string& name,
+                                      const Histogram& h) {
+    const std::vector<int64_t> buckets = h.buckets();
     for (int b = 0; b < static_cast<int>(buckets.size()); ++b) {
       if (buckets[static_cast<size_t>(b)] == 0) continue;
       // Bucket 0 is (-inf, 1); bucket k >= 1 is [2^(k-1), 2^k).
@@ -150,27 +166,27 @@ std::vector<Row> FillHistogramBuckets(const SysEngineState& s) {
                          Value::Double(std::ldexp(1.0, b)),
                          Value::Int(buckets[static_cast<size_t>(b)])});
     }
-  }
+  });
   return rows;
 }
 
 std::vector<Row> FillQueryLog(const SysEngineState& s) {
   std::vector<Row> rows;
   if (s.query_log == nullptr) return rows;
-  for (const QueryLogEntry* e : s.query_log->Entries()) {
+  for (const QueryLogEntry& e : s.query_log->SnapshotEntries()) {
     std::string fires;
-    for (const QueryLogRuleFire& f : e->rule_fires) {
+    for (const QueryLogRuleFire& f : e.rule_fires) {
       if (!fires.empty()) fires += ' ';
       fires += StrCat(f.phase, "/", f.rule, "=", f.fires);
     }
-    rows.push_back(Row{Value::Int(e->id), Value::String(e->sql),
-                       Value::String(e->kind), Value::String(e->strategy),
-                       Value::String(e->status), Value::Double(e->cost_no_emst),
-                       Value::Double(e->cost_with_emst),
-                       Value::Bool(e->emst_applied), Value::Bool(e->emst_chosen),
-                       Value::Int(e->total_work), Value::Int(e->rows),
-                       Value::Double(e->wall_ms),
-                       Value::Int(e->peak_memory_bytes),
+    rows.push_back(Row{Value::Int(e.id), Value::String(e.sql),
+                       Value::String(e.kind), Value::String(e.strategy),
+                       Value::String(e.status), Value::Double(e.cost_no_emst),
+                       Value::Double(e.cost_with_emst),
+                       Value::Bool(e.emst_applied), Value::Bool(e.emst_chosen),
+                       Value::Int(e.total_work), Value::Int(e.rows),
+                       Value::Double(e.wall_ms),
+                       Value::Int(e.peak_memory_bytes),
                        Value::String(std::move(fires))});
   }
   return rows;
@@ -348,10 +364,10 @@ std::vector<Row> FillGovernor(const SysEngineState& s) {
     aborts_resource =
         s.metrics->CounterValue("governor.aborts.resource_exhausted");
     cancel_checks = s.metrics->CounterValue("governor.cancel_checks");
-    auto it = s.metrics->histograms().find("governor.peak_bytes");
-    if (it != s.metrics->histograms().end()) {
-      peak_max = static_cast<int64_t>(it->second.max());
-      peak_obs = it->second.count();
+    if (const Histogram* h = s.metrics->FindHistogram("governor.peak_bytes");
+        h != nullptr) {
+      peak_max = static_cast<int64_t>(h->max());
+      peak_obs = h->count();
     }
   }
   add("aborts_cancelled", aborts_cancelled);
@@ -367,7 +383,27 @@ std::vector<Row> FillGovernor(const SysEngineState& s) {
   return rows;
 }
 
+// In-flight queries, id-ascending (registration order). The observing
+// query itself appears here — unlike sys.query_log, which records only
+// *finished* statements — because "what is running right now" is exactly
+// the question this table answers. Internal observer queries (the HTTP
+// snapshot path, shell renderers) are never registered and never show up.
+std::vector<Row> FillActiveQueries(const SysEngineState& s) {
+  std::vector<Row> rows;
+  if (s.progress == nullptr) return rows;
+  for (const ProgressSnapshot& q : s.progress->Snapshot()) {
+    rows.push_back(Row{Value::Int(q.id), Value::String(q.sql),
+                       Value::String(q.phase), Value::Int(q.morsels_done),
+                       Value::Int(q.morsels_total), Value::Double(q.est_rows),
+                       Value::Int(q.rows_produced),
+                       Value::Int(q.fixpoint_round), Value::Int(q.peak_bytes),
+                       Value::Int(q.elapsed_us)});
+  }
+  return rows;
+}
+
 SysFillFn BuiltinFill(const std::string& table) {
+  if (table == "sys.active_queries") return FillActiveQueries;
   if (table == "sys.metrics") return FillMetrics;
   if (table == "sys.histogram_buckets") return FillHistogramBuckets;
   if (table == "sys.query_log") return FillQueryLog;

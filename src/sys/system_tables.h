@@ -15,6 +15,7 @@ namespace starmagic {
 
 class Catalog;
 class MetricsRegistry;
+class ProgressRegistry;
 class QueryLog;
 class SystemTableRegistry;
 
@@ -69,6 +70,8 @@ struct SysEngineState {
   const std::vector<SysBoxStatRow>* box_stats = nullptr;
   /// Cumulative per-rule rewrite totals, keyed by rule name (may be null).
   const std::map<std::string, SysRuleStats>* rewrite_rules = nullptr;
+  /// In-flight query trackers (sys.active_queries rows; may be null).
+  const ProgressRegistry* progress = nullptr;
   /// Lazily invoked once when sys.settings materializes.
   std::function<std::vector<SysSettingRow>()> settings_fn;
 };

@@ -92,7 +92,15 @@ std::string RandomQuery(Rng* rng, bool* is_sys) {
   std::vector<std::string> compare_ops = {"=", "<", "<=", ">", ">=", "<>"};
   std::string sql;
   *is_sys = false;
-  switch (rng->Uniform(9)) {
+  switch (rng->Uniform(10)) {
+    case 9:  // self-observation: the running query in sys.active_queries.
+      // Projects only strategy-invariant columns — the statement text —
+      // never id/phase/morsels/elapsed_us, which differ run to run.
+      *is_sys = true;
+      sql = "SELECT a.sql, t.name FROM sys.active_queries a, sys.tables t "
+            "WHERE t.kind = 'table'";
+      if (rng->Chance(50)) sql += " AND t.stale = FALSE";
+      break;
     case 6:  // join of two system tables
       *is_sys = true;
       sql = "SELECT c.table_name, c.name, t.kind FROM sys.columns c, "

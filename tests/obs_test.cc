@@ -170,6 +170,24 @@ TEST(TracerTest, JsonEscapeHandlesControlCharacters) {
   EXPECT_EQ(JsonEscape(std::string("a\x01") + "b"), "a\\u0001b");
 }
 
+TEST(TracerTest, JsonEscapePassesWellFormedUtf8Through) {
+  EXPECT_EQ(JsonEscape("caf\xc3\xa9"), "caf\xc3\xa9");          // é
+  EXPECT_EQ(JsonEscape("\xe2\x82\xac"), "\xe2\x82\xac");        // €
+  EXPECT_EQ(JsonEscape("\xf0\x9f\x90\x98"), "\xf0\x9f\x90\x98");  // 🐘
+}
+
+TEST(TracerTest, JsonEscapeReplacesMalformedUtf8Bytes) {
+  // A stray continuation byte, a truncated lead, and an overlong/surrogate
+  // lead each become one U+FFFD escape — never raw invalid bytes that
+  // would make the exported JSON unparseable.
+  EXPECT_EQ(JsonEscape("a\x80z"), "a\\ufffdz");
+  EXPECT_EQ(JsonEscape("a\xc3"), "a\\ufffd");              // truncated é
+  EXPECT_EQ(JsonEscape("\xc0\xaf"), "\\ufffd\\ufffd");     // overlong
+  EXPECT_EQ(JsonEscape("\xed\xa0\x80"),
+            "\\ufffd\\ufffd\\ufffd");                      // surrogate
+  EXPECT_EQ(JsonEscape("\xf5\x80"), "\\ufffd\\ufffd");     // > U+10FFFF
+}
+
 TEST(TracerTest, ClearKeepsEnabledFlag) {
   Tracer tracer(true);
   tracer.BeginSpan("s");

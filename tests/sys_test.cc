@@ -82,14 +82,15 @@ TEST(SysNameTest, MatchesSysPrefixCaseInsensitively) {
 TEST(SysRegistryTest, BuiltinsPresentAndNameSorted) {
   SystemTableRegistry registry;
   std::vector<const SystemTableDef*> tables = registry.Tables();
-  ASSERT_EQ(tables.size(), 11u);
+  ASSERT_EQ(tables.size(), 12u);
   for (size_t i = 1; i < tables.size(); ++i) {
     EXPECT_LT(tables[i - 1]->name, tables[i]->name);
   }
   for (const char* name :
        {"sys.metrics", "sys.histogram_buckets", "sys.query_log", "sys.tables",
         "sys.columns", "sys.indexes", "sys.table_stats", "sys.rewrite_rules",
-        "sys.box_stats", "sys.settings", "sys.governor"}) {
+        "sys.box_stats", "sys.settings", "sys.governor",
+        "sys.active_queries"}) {
     EXPECT_NE(registry.Find(name), nullptr) << name;
   }
   // Case-insensitive lookup; canonical names are lower-case.
@@ -245,6 +246,56 @@ TEST(SysReconcileTest, QueryLogSnapshotExcludesTheObservingQuery) {
   EXPECT_NE(StrCol(r2->table, r2->table.rows()[0], "sql")
                 .find("sys.query_log"),
             std::string::npos);
+}
+
+// Unlike sys.query_log (snapshot-then-log excludes the observer),
+// sys.active_queries includes the observing query: it is in flight at its
+// own snapshot, which is exactly what "active" means. Internal queries are
+// never registered, so the shell dashboard does not watch itself.
+TEST(SysReconcileTest, ActiveQueriesSeesTheRunningQueryButNotInternals) {
+  Database db;
+  auto r = db.Query("SELECT id, sql, phase FROM sys.active_queries");
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r->table.num_rows(), 1);
+  EXPECT_NE(StrCol(r->table, r->table.rows()[0], "sql")
+                .find("sys.active_queries"),
+            std::string::npos);
+  // The sys snapshot materializes when the optimizer first resolves the
+  // table name, so the self-observation is taken mid-optimization.
+  EXPECT_EQ(StrCol(r->table, r->table.rows()[0], "phase"), "optimize");
+
+  Table internal = SysQuery(&db, "SELECT * FROM sys.active_queries");
+  EXPECT_EQ(internal.num_rows(), 0);
+  EXPECT_EQ(db.progress()->active_count(), 0);
+}
+
+TEST(SysReconcileTest, ActiveQueriesRespectsProgressToggle) {
+  Database db;
+  db.EnableProgressTracking(false);
+  auto r = db.Query("SELECT * FROM sys.active_queries");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->table.num_rows(), 0);
+  db.EnableProgressTracking(true);
+  r = db.Query("SELECT * FROM sys.active_queries");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->table.num_rows(), 1);
+}
+
+// The HTTP endpoint path: SnapshotSysTable materializes a registered table
+// against live state without running SQL, and rejects unknown names.
+TEST(SysSnapshotTest, SnapshotSysTableMirrorsRegisteredTables) {
+  Database db;
+  SeedCatalog(&db);
+  QueryOptions options;
+  options.internal = true;
+
+  auto snapshot = db.SnapshotSysTable("sys.tables", options);
+  ASSERT_TRUE(snapshot.ok());
+  Table queried = SysQuery(&db, "SELECT * FROM sys.tables");
+  ASSERT_EQ(snapshot->num_rows(), queried.num_rows());
+
+  EXPECT_EQ(db.SnapshotSysTable("sys.nope", options).status().code(),
+            StatusCode::kNotFound);
 }
 
 TEST(SysReconcileTest, TablesColumnsIndexesAndStatsMirrorCatalog) {
