@@ -12,6 +12,8 @@
 //   .qerror                               per-box-type Q-error report
 //   .sys                                  list the sys.* system tables
 //   .progress                             show in-flight queries
+//   .prepare                              list prepared statements
+//   .plancache [n|off]                    show / resize / disable plan cache
 //   .serve [port]|off                     HTTP observability endpoint
 //   .import <table> <file.csv>            load CSV rows into a table
 //   .export <table> <file.csv>            dump a table to CSV
@@ -109,18 +111,21 @@ Result<Table> SysQuery(ShellState* state, const std::string& sql) {
 }
 
 void RunStatement(ShellState* state, const std::string& sql) {
-  // Heuristic dispatch: SELECT/EXPLAIN go through Query, everything else
-  // through Execute.
+  // Heuristic dispatch: SELECT/EXPLAIN and the prepared-statement verbs go
+  // through Query, everything else through Execute.
   size_t first = sql.find_first_not_of(" \t\r\n");
   if (first == std::string::npos) return;
   std::string head = ToUpper(sql.substr(first, 7));
-  if (head.rfind("SELECT", 0) == 0 || head.rfind("EXPLAIN", 0) == 0) {
+  if (head.rfind("SELECT", 0) == 0 || head.rfind("EXPLAIN", 0) == 0 ||
+      head.rfind("PREPARE", 0) == 0 || head.rfind("EXECUTE", 0) == 0 ||
+      head.rfind("DEALLOC", 0) == 0) {
     QueryOptions options(state->strategy);
     options.capture_plan_report = state->explain;
     options.tracer = &state->tracer;
     options.metrics = &state->metrics;
     options.num_threads = state->threads;
     options.budget = state->budget;
+    options.use_plan_cache = true;
     auto r = state->db.Query(sql, options);
     if (!r.ok()) {
       std::printf("error: %s\n", r.status().ToString().c_str());
@@ -158,6 +163,10 @@ bool RunDotCommand(ShellState* state, const std::string& line) {
         ".qerror             per-box-type Q-error report + stale stats\n"
         ".sys                list the sys.* virtual system tables\n"
         ".progress           in-flight queries (sys.active_queries)\n"
+        ".prepare            list prepared statements\n"
+        ".plancache          show plan-cache entries and hit/miss counters\n"
+        ".plancache <n>      resize the plan cache to n entries\n"
+        ".plancache off      disable the plan cache and drop its entries\n"
         ".serve [port]       HTTP observability server (0/blank = ephemeral)\n"
         ".serve off          stop the server\n"
         ".import <table> <file.csv>\n"
@@ -301,6 +310,43 @@ bool RunDotCommand(ShellState* state, const std::string& line) {
     } else {
       std::printf("%s", t->ToString(50).c_str());
     }
+  } else if (cmd == ".prepare") {
+    std::vector<std::string> names = state->db.PreparedStatementNames();
+    if (names.empty()) std::printf("(no prepared statements)\n");
+    for (const std::string& name : names) std::printf("%s\n", name.c_str());
+  } else if (cmd == ".plancache") {
+    PlanCache* cache = state->db.plan_cache();
+    if (a == "off") {
+      cache->SetCapacity(0);
+    } else if (!a.empty()) {
+      int n = std::atoi(a.c_str());
+      if (n < 1) {
+        std::printf("usage: .plancache [<n> | off]\n");
+        return true;
+      }
+      cache->SetCapacity(static_cast<size_t>(n));
+    }
+    if (!cache->enabled()) {
+      std::printf("plan cache = off\n");
+      return true;
+    }
+    PlanCacheStats stats = cache->stats();
+    std::printf("plan cache = %zu/%zu entries, %lld bytes resident; "
+                "hits=%lld misses=%lld invalidations=%lld evictions=%lld\n",
+                cache->size(), cache->capacity(),
+                static_cast<long long>(cache->resident_bytes()),
+                static_cast<long long>(stats.hits),
+                static_cast<long long>(stats.misses),
+                static_cast<long long>(stats.invalidations),
+                static_cast<long long>(stats.evictions));
+    auto t = SysQuery(state,
+                      "SELECT entry, sql, fingerprint, hits, bytes, "
+                      "num_params, tables FROM sys.plan_cache");
+    if (!t.ok()) {
+      std::printf("error: %s\n", t.status().ToString().c_str());
+      return true;
+    }
+    if (t->num_rows() > 0) std::printf("%s", t->ToString(50).c_str());
   } else if (cmd == ".serve") {
     if (a == "off") {
       if (state->server != nullptr && state->server->running()) {

@@ -105,6 +105,8 @@ def validate_file(path):
         return False
     if not check_progress_overhead(path, samples, doc["smoke"]):
         return False
+    if not check_plan_cache_identity(path, samples, doc["smoke"]):
+        return False
     print(f"{path}: ok ({doc['bench']}, {len(samples)} samples, "
           f"scale={doc['scale']}, smoke={doc['smoke']})")
     return True
@@ -254,6 +256,42 @@ def check_progress_overhead(path, samples, smoke):
                           "scale)")
                 else:
                     ok = fail(path, msg)
+    return ok
+
+
+def check_plan_cache_identity(path, samples, smoke):
+    """Samples that only differ in the 'plan_cache=cold' /
+    'plan_cache=cached' strategy (bench_plancache) must report identical
+    total_work and rows — executing a cached plan may never compute
+    anything different from a cold compile of the same statement. Unlike
+    the overhead gates this is pure identity with no wall budget: the
+    cached side is *expected* to be faster (it skips compilation), and
+    the bench binary gates that speedup itself at single-thread cells.
+    A cached run that is slower is reported as a note here — wall times
+    are machine-noisy and, at smoke scale, too short to mean anything —
+    but the work/rows identity fails at every scale and thread count."""
+    by_workload = {}
+    for s in samples:
+        if s["strategy"] in ("plan_cache=cold", "plan_cache=cached"):
+            by_workload.setdefault(s["workload"], {})[s["strategy"]] = s
+    ok = True
+    for workload, pair in sorted(by_workload.items()):
+        if len(pair) != 2:
+            ok = fail(path, f"workload '{workload}': need both "
+                            "plan_cache=cold and plan_cache=cached samples "
+                            "to compare")
+            continue
+        cold, cached = pair["plan_cache=cold"], pair["plan_cache=cached"]
+        for field in ("total_work", "rows"):
+            if cold[field] != cached[field]:
+                ok = fail(path, f"workload '{workload}': {field} diverges "
+                                f"between cold compile and cached plan "
+                                f"({cold[field]} vs {cached[field]})")
+        if cold["wall_ms"] > 0 and cached["wall_ms"] > cold["wall_ms"] \
+                and not smoke:
+            print(f"{path}: note: workload '{workload}': cached execution "
+                  f"({cached['wall_ms']}ms) slower than cold compile "
+                  f"({cold['wall_ms']}ms)")
     return ok
 
 

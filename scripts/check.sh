@@ -45,7 +45,7 @@ run_smoke_battery() {
   local dir="$1"
   mkdir -p "${dir}"
   cd "${dir}"
-  for bench in table1 index figure1 figure4 heuristic ablation recursive tpcd parallel governor systables; do
+  for bench in table1 index figure1 figure4 heuristic ablation recursive tpcd parallel governor plancache systables; do
     echo "== bench_${bench} (smoke, $(basename "${dir}")) =="
     "${BUILD}/bench/bench_${bench}" > "out_${bench}.txt"
   done
@@ -85,18 +85,21 @@ done
 # coexist) covering the parallel subsystem — the worker-pool/determinism
 # tests, the governor's cross-thread accounting and cancellation paths,
 # the sys.* snapshot battery (snapshot-at-scan-start sharing one
-# materialized table across parallel morsels), the observability server
-# (scraping /metrics and /sys/active_queries from a second thread while
-# an 8-way recursive query runs), plus a 4-thread smoke run of the
-# parallel bench. Any data race fails the run.
+# materialized table across parallel morsels), the plan cache (cached
+# plans cloned and executed from multiple threads while the cache is
+# probed), the observability server (scraping /metrics and
+# /sys/active_queries from a second thread while an 8-way recursive
+# query runs), plus a 4-thread smoke run of the parallel bench. Any
+# data race fails the run.
 echo "== tsan: parallel subsystem + obs server =="
 TSAN_BUILD="${ROOT}/build-tsan"
 cmake -B "${TSAN_BUILD}" -S "${ROOT}" -DSTARMAGIC_SANITIZE=THREAD
-cmake --build "${TSAN_BUILD}" -j "$(nproc)" --target parallel_test governor_test sys_test net_test bench_parallel
+cmake --build "${TSAN_BUILD}" -j "$(nproc)" --target parallel_test governor_test sys_test plan_cache_test net_test bench_parallel
 export TSAN_OPTIONS="halt_on_error=1"
 "${TSAN_BUILD}/tests/parallel_test"
 "${TSAN_BUILD}/tests/governor_test"
 "${TSAN_BUILD}/tests/sys_test"
+"${TSAN_BUILD}/tests/plan_cache_test"
 "${TSAN_BUILD}/tests/net_test"
 TSAN_DIR="${SMOKE_DIR}/tsan"
 mkdir -p "${TSAN_DIR}"

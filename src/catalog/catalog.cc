@@ -24,6 +24,7 @@ Status Catalog::CreateTable(const std::string& name, Schema schema) {
     return Status::AlreadyExists(StrCat("relation '", name, "' already exists"));
   }
   tables_[key] = std::make_unique<Table>(name, std::move(schema));
+  ++ddl_version_;
   return Status::OK();
 }
 
@@ -35,6 +36,7 @@ Status Catalog::CreateView(ViewDefinition view) {
         StrCat("relation '", view.name, "' already exists"));
   }
   views_[key] = std::move(view);
+  ++ddl_version_;
   return Status::OK();
 }
 
@@ -47,6 +49,7 @@ Status Catalog::DropTable(const std::string& name) {
   stats_.erase(key);
   versions_.erase(key);
   indexes_.DropTableIndexes(name);
+  ++ddl_version_;
   return Status::OK();
 }
 
@@ -55,6 +58,7 @@ Status Catalog::DropView(const std::string& name) {
   if (views_.erase(Key(name)) == 0) {
     return Status::NotFound(StrCat("view '", name, "' does not exist"));
   }
+  ++ddl_version_;
   return Status::OK();
 }
 
@@ -124,12 +128,16 @@ Status Catalog::CreateIndex(const std::string& index_name,
     }
     columns.push_back(idx);
   }
-  return indexes_.CreateIndex(index_name, table->name(), std::move(columns),
-                              kind, *table);
+  Status s = indexes_.CreateIndex(index_name, table->name(),
+                                  std::move(columns), kind, *table);
+  if (s.ok()) ++ddl_version_;
+  return s;
 }
 
 Status Catalog::DropIndex(const std::string& index_name) {
-  return indexes_.DropIndex(index_name);
+  Status s = indexes_.DropIndex(index_name);
+  if (s.ok()) ++ddl_version_;
+  return s;
 }
 
 const SecondaryIndex* Catalog::GetIndex(const std::string& index_name) const {

@@ -116,6 +116,13 @@ class Catalog {
   /// Name-sorted list of tables whose statistics are stale.
   std::vector<std::string> StaleStatsTables() const;
 
+  /// Catalog-wide monotone DDL counter, bumped by every successful
+  /// CREATE/DROP of a table, view, or index. Per-table versions alone
+  /// cannot detect drop-and-recreate (DropTable erases the table's
+  /// VersionInfo, resetting its modified counter to 0), so plan-cache
+  /// entries additionally pin this value.
+  int64_t ddl_version() const { return ddl_version_; }
+
   // --- reserved `sys` schema (virtual system tables) -----------------------
   /// Attaches the registry of virtual system tables. Once attached, names
   /// with the "sys." prefix resolve against it (HasTable), DDL/DML against
@@ -146,6 +153,7 @@ class Catalog {
     int64_t analyzed = -1;  ///< -1 = never analyzed
   };
 
+  int64_t ddl_version_ = 0;
   std::map<std::string, std::unique_ptr<Table>> tables_;
   std::map<std::string, ViewDefinition> views_;
   std::map<std::string, TableStats> stats_;

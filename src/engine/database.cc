@@ -247,6 +247,15 @@ Status Database::ExecuteStatement(const AstStatement& stmt) {
     case StatementKind::kExplain:
       return Status::InvalidArgument(
           "EXPLAIN statements must be run through Query()");
+    case StatementKind::kPrepare:
+      return Status::InvalidArgument(
+          "PREPARE statements must be run through Query()");
+    case StatementKind::kExecute:
+      return Status::InvalidArgument(
+          "EXECUTE statements must be run through Query()");
+    case StatementKind::kDeallocate:
+      return Status::InvalidArgument(
+          "DEALLOCATE statements must be run through Query()");
   }
   return Status::Internal("unhandled statement kind");
 }
@@ -311,6 +320,17 @@ void RecordExecMetrics(MetricsRegistry* metrics, const ExecStats& stats,
   metrics->counter("exec.work")->Add(stats.TotalWork());
   metrics->histogram("exec.rows_per_query")
       ->Observe(static_cast<double>(result_rows));
+}
+
+// Plan-cache outcome counters. Invalidation and eviction are charged to
+// the query that observed them (the lookup that dropped the stale entry /
+// the insert that pushed one out), keeping the counters deterministic.
+void RecordPlanCacheMetrics(MetricsRegistry* metrics, bool hit,
+                            bool invalidated, int evictions) {
+  if (metrics == nullptr) return;
+  metrics->counter(hit ? "plan_cache.hits" : "plan_cache.misses")->Add(1);
+  if (invalidated) metrics->counter("plan_cache.invalidations")->Add(1);
+  if (evictions > 0) metrics->counter("plan_cache.evictions")->Add(evictions);
 }
 
 // Wall-clock-side parallel counters; skipped entirely for sequential runs
@@ -493,19 +513,98 @@ std::string FormatMs(double ms) {
   return buf;
 }
 
+// Highest parameter index present in the graph, plus one — the number of
+// bindings an EXECUTE must supply for this plan.
+int CountParams(const QueryGraph& graph) {
+  int max_index = -1;
+  auto scan = [&max_index](const Expr* e) {
+    if (e == nullptr) return;
+    e->Visit([&max_index](const Expr& x) {
+      if (x.kind == ExprKind::kParameter) {
+        max_index = std::max(max_index, x.param_index);
+      }
+    });
+  };
+  for (const Box* box : graph.boxes()) {
+    for (const ExprPtr& p : box->predicates()) scan(p.get());
+    for (const OutputColumn& o : box->outputs()) scan(o.expr.get());
+  }
+  return max_index + 1;
+}
+
+// Rebuilds a PipelineResult from a cache entry: a fresh clone of the
+// master graph plus the compile-time diagnostics. rule_fires stays empty —
+// no rewrite rule runs on the cached path, and tests assert exactly that.
+PipelineResult PipelineFromCache(const CachedPlan& plan) {
+  PipelineResult pipeline;
+  pipeline.graph = plan.graph->Clone();
+  pipeline.cost_no_emst = plan.cost_no_emst;
+  pipeline.cost_with_emst = plan.cost_with_emst;
+  pipeline.emst_applied = plan.emst_applied;
+  pipeline.emst_chosen = plan.emst_chosen;
+  pipeline.rewrite_applications = plan.rewrite_applications;
+  return pipeline;
+}
+
 }  // namespace
 
+int Database::CachePlan(const PipelineResult& pipeline,
+                        const std::string& norm_sql,
+                        const std::string& fingerprint, int num_params) {
+  if (ReferencesSysTables(*pipeline.graph)) return 0;
+  CachedPlan plan;
+  plan.graph = pipeline.graph->Clone();
+  plan.cost_no_emst = pipeline.cost_no_emst;
+  plan.cost_with_emst = pipeline.cost_with_emst;
+  plan.emst_applied = pipeline.emst_applied;
+  plan.emst_chosen = pipeline.emst_chosen;
+  plan.rewrite_applications = pipeline.rewrite_applications;
+  plan.num_params = num_params;
+  for (const std::string& table : ReferencedBaseTables(*pipeline.graph)) {
+    plan.pins.push_back({table, catalog_.TableVersion(table),
+                         catalog_.LastAnalyzeVersion(table)});
+  }
+  plan.ddl_version = catalog_.ddl_version();
+  plan.normalized_sql = norm_sql;
+  plan.fingerprint = fingerprint;
+  return plan_cache_.Insert(std::move(plan));
+}
+
 Result<QueryResult> Database::RunExplain(const AstExplain& ex,
+                                         const std::string& sql,
                                          const QueryOptions& options,
                                          ProgressTracker* progress,
                                          GovernorStats* governor_out) {
-  SM_ASSIGN_OR_RETURN(PipelineResult pipeline, OptimizeBlob(*ex.query, options));
+  MetricsRegistry* pc_metrics = options.internal ? nullptr : options.metrics;
+  bool plan_cache_hit = false;
+  PipelineResult pipeline;
+  if (options.use_plan_cache && plan_cache_.enabled()) {
+    std::string norm_sql = PlanCache::NormalizeSql(sql);
+    std::string fingerprint =
+        PlanCache::Fingerprint(EffectivePipelineOptions(options));
+    PlanCache::LookupResult lookup =
+        plan_cache_.Lookup(norm_sql, fingerprint, catalog_);
+    if (lookup.plan != nullptr) {
+      plan_cache_hit = true;
+      pipeline = PipelineFromCache(*lookup.plan);
+      RecordPlanCacheMetrics(pc_metrics, /*hit=*/true, false, 0);
+    } else {
+      SM_ASSIGN_OR_RETURN(pipeline, OptimizeBlob(*ex.query, options));
+      int evictions =
+          CachePlan(pipeline, norm_sql, fingerprint, CountParams(*pipeline.graph));
+      RecordPlanCacheMetrics(pc_metrics, /*hit=*/false, lookup.invalidated,
+                             evictions);
+    }
+  } else {
+    SM_ASSIGN_OR_RETURN(pipeline, OptimizeBlob(*ex.query, options));
+  }
   if (progress != nullptr && pipeline.graph->top() != nullptr) {
     CardinalityEstimator est(pipeline.graph.get(), &catalog_);
     progress->SetEstRows(est.Estimate(pipeline.graph->top()).rows);
   }
 
   QueryResult result;
+  result.plan_cache_hit = plan_cache_hit;
   result.cost_no_emst = pipeline.cost_no_emst;
   result.cost_with_emst = pipeline.cost_with_emst;
   result.emst_applied = pipeline.emst_applied;
@@ -558,7 +657,8 @@ Result<QueryResult> Database::RunExplain(const AstExplain& ex,
              " C1=", FormatDouble(result.cost_no_emst),
              " C2=", FormatDouble(result.cost_with_emst),
              " emst_chosen=", result.emst_chosen ? "true" : "false",
-             " threads=", options.num_threads, "\n");
+             " threads=", options.num_threads,
+             " plan_cache=", plan_cache_hit ? "hit" : "miss", "\n");
   if (!pipeline.rule_fires.empty()) {
     report += "rule fires:\n";
     report += RuleFireTable(pipeline.rule_fires);
@@ -639,16 +739,57 @@ Result<QueryResult> Database::QueryInternal(const std::string& sql,
   if (stmt->kind == StatementKind::kExplain) {
     const auto& ex = static_cast<const AstExplain&>(*stmt);
     *kind = ex.analyze ? "explain-analyze" : "explain";
-    return RunExplain(ex, options, progress, governor_out);
+    return RunExplain(ex, sql, options, progress, governor_out);
+  }
+  if (stmt->kind == StatementKind::kPrepare) {
+    *kind = "prepare";
+    return RunPrepare(static_cast<const AstPrepare&>(*stmt), options);
+  }
+  if (stmt->kind == StatementKind::kExecute) {
+    *kind = "execute";
+    return RunExecute(static_cast<const AstExecute&>(*stmt), options, progress,
+                      governor_out);
+  }
+  if (stmt->kind == StatementKind::kDeallocate) {
+    *kind = "deallocate";
+    const auto& de = static_cast<const AstDeallocate&>(*stmt);
+    if (prepared_.erase(ToLower(de.name)) == 0) {
+      return Status::NotFound(
+          StrCat("prepared statement '", de.name, "' does not exist"));
+    }
+    QueryResult result;
+    result.table = ReportTable(StrCat("DEALLOCATE ", de.name));
+    return result;
   }
   if (stmt->kind != StatementKind::kSelect) {
     return Status::InvalidArgument(
-        "only SELECT and EXPLAIN can be run through Query(); use Execute() "
-        "for DDL/DML");
+        "only SELECT, EXPLAIN, PREPARE, EXECUTE, and DEALLOCATE can be run "
+        "through Query(); use Execute() for DDL/DML");
   }
   const auto& select = static_cast<const AstSelectStatement&>(*stmt);
-  SM_ASSIGN_OR_RETURN(PipelineResult pipeline,
-                      OptimizeBlob(*select.blob, options));
+  MetricsRegistry* pc_metrics = options.internal ? nullptr : options.metrics;
+  bool plan_cache_hit = false;
+  PipelineResult pipeline;
+  if (options.use_plan_cache && plan_cache_.enabled()) {
+    std::string norm_sql = PlanCache::NormalizeSql(sql);
+    std::string fingerprint =
+        PlanCache::Fingerprint(EffectivePipelineOptions(options));
+    PlanCache::LookupResult lookup =
+        plan_cache_.Lookup(norm_sql, fingerprint, catalog_);
+    if (lookup.plan != nullptr) {
+      plan_cache_hit = true;
+      pipeline = PipelineFromCache(*lookup.plan);
+      RecordPlanCacheMetrics(pc_metrics, /*hit=*/true, false, 0);
+    } else {
+      SM_ASSIGN_OR_RETURN(pipeline, OptimizeBlob(*select.blob, options));
+      int evictions = CachePlan(pipeline, norm_sql, fingerprint,
+                                CountParams(*pipeline.graph));
+      RecordPlanCacheMetrics(pc_metrics, /*hit=*/false, lookup.invalidated,
+                             evictions);
+    }
+  } else {
+    SM_ASSIGN_OR_RETURN(pipeline, OptimizeBlob(*select.blob, options));
+  }
   if (progress != nullptr) {
     if (pipeline.graph->top() != nullptr) {
       CardinalityEstimator est(pipeline.graph.get(), &catalog_);
@@ -656,8 +797,103 @@ Result<QueryResult> Database::QueryInternal(const std::string& sql,
     }
     progress->SetPhase(QueryPhase::kExecute);
   }
-  return RunPipeline(std::move(pipeline), options, /*collect_box_stats=*/false,
-                     progress, governor_out);
+  Result<QueryResult> run = RunPipeline(
+      std::move(pipeline), options, /*collect_box_stats=*/false, progress,
+      governor_out);
+  if (run.ok()) (*run).plan_cache_hit = plan_cache_hit;
+  return run;
+}
+
+Result<QueryResult> Database::RunPrepare(const AstPrepare& prep,
+                                         const QueryOptions& options) {
+  std::string key = ToLower(prep.name);
+  if (prepared_.count(key) > 0) {
+    return Status::AlreadyExists(
+        StrCat("prepared statement '", prep.name, "' already exists"));
+  }
+  // Compile once, now: PREPARE both validates the body and warms the plan
+  // cache, so the first EXECUTE already skips the pipeline.
+  SM_ASSIGN_OR_RETURN(PipelineResult pipeline,
+                      OptimizeBlob(*prep.body, options));
+  if (plan_cache_.enabled()) {
+    std::string norm_sql = PlanCache::NormalizeSql(prep.body_sql);
+    std::string fingerprint =
+        PlanCache::Fingerprint(EffectivePipelineOptions(options));
+    int evictions =
+        CachePlan(pipeline, norm_sql, fingerprint, prep.num_params);
+    RecordPlanCacheMetrics(options.internal ? nullptr : options.metrics,
+                           /*hit=*/false, false, evictions);
+  }
+  prepared_[key] = PreparedStatement{prep.name, prep.body_sql,
+                                     prep.num_params};
+  QueryResult result;
+  result.cost_no_emst = pipeline.cost_no_emst;
+  result.cost_with_emst = pipeline.cost_with_emst;
+  result.emst_applied = pipeline.emst_applied;
+  result.emst_chosen = pipeline.emst_chosen;
+  result.rewrite_applications = pipeline.rewrite_applications;
+  result.rule_fires = std::move(pipeline.rule_fires);
+  result.table = ReportTable(StrCat("PREPARE ", prep.name));
+  return result;
+}
+
+Result<QueryResult> Database::RunExecute(const AstExecute& exec,
+                                         const QueryOptions& options,
+                                         ProgressTracker* progress,
+                                         GovernorStats* governor_out) {
+  auto it = prepared_.find(ToLower(exec.name));
+  if (it == prepared_.end()) {
+    return Status::NotFound(
+        StrCat("prepared statement '", exec.name, "' does not exist"));
+  }
+  const PreparedStatement& prepared = it->second;
+  if (static_cast<int>(exec.args.size()) != prepared.num_params) {
+    return Status::InvalidArgument(
+        StrCat("prepared statement '", exec.name, "' expects ",
+               prepared.num_params, " parameter(s), got ", exec.args.size()));
+  }
+
+  MetricsRegistry* pc_metrics = options.internal ? nullptr : options.metrics;
+  std::string norm_sql = PlanCache::NormalizeSql(prepared.body_sql);
+  std::string fingerprint =
+      PlanCache::Fingerprint(EffectivePipelineOptions(options));
+  bool plan_cache_hit = false;
+  PipelineResult pipeline;
+  PlanCache::LookupResult lookup =
+      plan_cache_.Lookup(norm_sql, fingerprint, catalog_);
+  if (lookup.plan != nullptr) {
+    plan_cache_hit = true;
+    pipeline = PipelineFromCache(*lookup.plan);
+    RecordPlanCacheMetrics(pc_metrics, /*hit=*/true, false, 0);
+  } else {
+    SM_ASSIGN_OR_RETURN(std::unique_ptr<AstBlob> blob,
+                        ParseQuery(prepared.body_sql));
+    SM_ASSIGN_OR_RETURN(pipeline, OptimizeBlob(*blob, options));
+    int evictions =
+        CachePlan(pipeline, norm_sql, fingerprint, prepared.num_params);
+    RecordPlanCacheMetrics(pc_metrics, /*hit=*/false, lookup.invalidated,
+                           evictions);
+  }
+  SM_RETURN_IF_ERROR(BindParameters(pipeline.graph.get(), exec.args));
+  if (progress != nullptr) {
+    if (pipeline.graph->top() != nullptr) {
+      CardinalityEstimator est(pipeline.graph.get(), &catalog_);
+      progress->SetEstRows(est.Estimate(pipeline.graph->top()).rows);
+    }
+    progress->SetPhase(QueryPhase::kExecute);
+  }
+  Result<QueryResult> run = RunPipeline(
+      std::move(pipeline), options, /*collect_box_stats=*/false, progress,
+      governor_out);
+  if (run.ok()) (*run).plan_cache_hit = plan_cache_hit;
+  return run;
+}
+
+std::vector<std::string> Database::PreparedStatementNames() const {
+  std::vector<std::string> names;
+  names.reserve(prepared_.size());
+  for (const auto& [key, prep] : prepared_) names.push_back(prep.name);
+  return names;
 }
 
 Result<QueryResult> Database::Query(const std::string& sql,
@@ -737,6 +973,30 @@ SysEngineState Database::MakeSysState(const QueryOptions& options) const {
   state.box_stats = &last_box_stats_;
   state.rewrite_rules = &rewrite_totals_;
   state.progress = &progress_;
+  // Lazy: only a query that actually scans sys.plan_cache pays for the
+  // snapshot. PlanCache is internally locked, so this is safe from the
+  // HTTP snapshot thread as well as the query coordinator.
+  const PlanCache* plan_cache = &plan_cache_;
+  state.plan_cache_fn = [plan_cache]() {
+    std::vector<SysPlanCacheRow> rows;
+    for (const PlanCacheEntryInfo& e : plan_cache->Snapshot()) {
+      SysPlanCacheRow row;
+      row.entry_id = e.entry_id;
+      char hash[17];
+      std::snprintf(hash, sizeof(hash), "%016llx",
+                    static_cast<unsigned long long>(e.key_hash));
+      row.key_hash = hash;
+      row.sql = e.sql;
+      row.fingerprint = e.fingerprint;
+      row.hits = e.hits;
+      row.bytes = e.bytes;
+      row.num_params = e.num_params;
+      row.ddl_version = e.ddl_version;
+      row.tables = e.tables;
+      rows.push_back(std::move(row));
+    }
+    return rows;
+  };
   // Lazy: only a query that actually scans sys.settings pays for this.
   // QueryOptions is captured by value (it holds plain fields + borrowed
   // pointers), so the closure outlives the options reference.
@@ -759,6 +1019,8 @@ SysEngineState Database::MakeSysState(const QueryOptions& options) const {
     add("strategy", StrategyName(opts.strategy), "QueryOptions");
     add("tracer_attached",
         opts.tracer != nullptr && opts.tracer->enabled() ? "true" : "false",
+        "QueryOptions");
+    add("use_plan_cache", opts.use_plan_cache ? "true" : "false",
         "QueryOptions");
     for (const char* name :
          {"STARMAGIC_BENCH_SMOKE", "STARMAGIC_THREADS", "STARMAGIC_TRACE"}) {

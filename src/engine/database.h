@@ -12,6 +12,7 @@
 #include "obs/progress.h"
 #include "obs/query_log.h"
 #include "optimizer/pipeline.h"
+#include "plan/plan_cache.h"
 #include "sys/system_tables.h"
 
 namespace starmagic {
@@ -50,6 +51,14 @@ struct QueryOptions {
   /// Tests shrink it to exercise parallel paths on small (e.g. sys.*)
   /// tables; results are identical for any value.
   int64_t morsel_size = 2048;
+  /// Consult the plan cache for plain SELECT / EXPLAIN statements: on a
+  /// hit the parse→rewrite→optimize pipeline is skipped entirely and a
+  /// clone of the cached graph executes; on a miss the compiled plan is
+  /// inserted for next time. Off by default so existing compile-path
+  /// diagnostics (rule fires, snapshots) stay per-query. EXECUTE of a
+  /// prepared statement always consults the cache, regardless of this
+  /// flag — skipping recompilation is the point of PREPARE.
+  bool use_plan_cache = false;
   /// Marks an engine-internal introspection query (the shell's canned
   /// sys.* queries behind dot-commands). Internal queries observe without
   /// perturbing: they are not recorded in the query log, write no metrics,
@@ -90,6 +99,9 @@ struct QueryResult {
   /// cooperative-check count. Peak bytes are thread-count invariant for a
   /// given query (see docs/resource-governor.md).
   GovernorStats governor;
+  /// True when this run executed a clone of a cached plan (the compile
+  /// pipeline was skipped). Always false for PREPARE/DEALLOCATE.
+  bool plan_cache_hit = false;
 };
 
 /// The public facade: an embedded relational engine with the Starburst
@@ -176,7 +188,27 @@ class Database {
   Result<Table> SnapshotSysTable(const std::string& name,
                                  const QueryOptions& options) const;
 
+  /// The versioned plan cache behind PREPARE/EXECUTE (and, with
+  /// QueryOptions::use_plan_cache, plain SELECT/EXPLAIN). Entries pin the
+  /// referenced tables' modification/analyze versions plus the catalog DDL
+  /// version at compile time; a stale entry is dropped at lookup, never
+  /// executed. The shell's `.plancache` dot-command resizes/disables it
+  /// through this accessor.
+  PlanCache* plan_cache() { return &plan_cache_; }
+  const PlanCache* plan_cache() const { return &plan_cache_; }
+
+  /// Names of currently prepared statements (sorted).
+  std::vector<std::string> PreparedStatementNames() const;
+
  private:
+  /// A PREPAREd statement: the body SQL re-compiles on plan-cache misses;
+  /// the parser-counted positional-parameter count validates EXECUTE args.
+  struct PreparedStatement {
+    std::string name;  ///< as written (map key is lowercased)
+    std::string body_sql;
+    int num_params = 0;
+  };
+
   Status ExecuteStatement(const AstStatement& stmt);
 
   /// Lowers `blob` to QGM and runs the optimization pipeline with the
@@ -194,11 +226,40 @@ class Database {
                                   ProgressTracker* progress,
                                   GovernorStats* governor_out);
 
-  /// EXPLAIN [ANALYZE]: builds the annotated-plan result.
-  Result<QueryResult> RunExplain(const AstExplain& ex,
+  /// EXPLAIN [ANALYZE]: builds the annotated-plan result. `sql` is the
+  /// full statement text — the plan-cache key when use_plan_cache is set.
+  Result<QueryResult> RunExplain(const AstExplain& ex, const std::string& sql,
                                  const QueryOptions& options,
                                  ProgressTracker* progress,
                                  GovernorStats* governor_out);
+
+  /// PREPARE: validates + compiles the body once, warms the plan cache,
+  /// and registers the statement name.
+  Result<QueryResult> RunPrepare(const AstPrepare& prep,
+                                 const QueryOptions& options);
+
+  /// EXECUTE: binds arguments into a clone of the cached plan (compiling
+  /// and caching on a miss) and runs it.
+  Result<QueryResult> RunExecute(const AstExecute& exec,
+                                 const QueryOptions& options,
+                                 ProgressTracker* progress,
+                                 GovernorStats* governor_out);
+
+  /// Builds the cache entry for a just-compiled plan (version pins, master
+  /// graph clone) and inserts it. No-op for plans referencing sys.* tables
+  /// (they materialize per query; no pin makes them reusable). Returns the
+  /// number of entries evicted.
+  int CachePlan(const PipelineResult& pipeline, const std::string& norm_sql,
+                const std::string& fingerprint, int num_params);
+
+  /// The effective pipeline options for this query — what OptimizeBlob
+  /// passes to the optimizer, minus the observability sinks. Feeds the
+  /// plan-cache fingerprint.
+  PipelineOptions EffectivePipelineOptions(const QueryOptions& options) const {
+    PipelineOptions popts = options.pipeline;
+    popts.strategy = options.strategy;
+    return popts;
+  }
 
   /// Query() minus the query-log bookkeeping; sets *kind for the log.
   Result<QueryResult> QueryInternal(const std::string& sql,
@@ -214,6 +275,10 @@ class Database {
   Catalog catalog_;
   QueryLog query_log_;
   SystemTableRegistry sys_registry_;
+  /// Compiled-plan cache; internally locked (see PlanCache).
+  PlanCache plan_cache_;
+  /// PREPAREd statements by lowercased name. Coordinator-only.
+  std::map<std::string, PreparedStatement> prepared_;
   /// In-flight query trackers (sys.active_queries). Internally locked.
   ProgressRegistry progress_;
   bool progress_enabled_ = true;

@@ -154,6 +154,12 @@ Result<Value> EvalScalar(const Expr& expr, const RowEnv& env) {
     case ExprKind::kAggregate:
       return Status::Internal(
           "aggregate expression evaluated outside a groupby box");
+    case ExprKind::kParameter:
+      // EXECUTE substitutes every parameter with a literal before the plan
+      // reaches the executor; hitting one here means the binding pass was
+      // skipped (or a bare '?' query was run without PREPARE).
+      return Status::ExecutionError(
+          StrCat("unbound parameter ?", expr.param_index + 1));
   }
   return Status::Internal("unhandled expression kind");
 }

@@ -63,6 +63,18 @@ Executor::Executor(QueryGraph* graph, const Catalog* catalog,
   }
 }
 
+Executor::~Executor() {
+  // Coordinator-side (the executor is created and destroyed on the query's
+  // coordinator thread); the workers are already joined via pool_'s
+  // destruction order. Aborted queries may have reserved bytes that never
+  // reached cache_charged_bytes_ — releasing less than was reserved is
+  // safe, over-releasing never happens.
+  if (options_.governor != nullptr && cache_charged_bytes_ > 0) {
+    options_.governor->Release(cache_charged_bytes_);
+    cache_charged_bytes_ = 0;
+  }
+}
+
 Status Executor::ParallelAppend(
     int64_t n,
     const std::function<Status(int64_t begin, int64_t end, ComboVec* out,
@@ -242,6 +254,9 @@ Result<const Table*> Executor::EvalBox(Box* box, const RowEnv& env,
     }
     if (scc_done_.count(scc)) {
       ++stats_.cache_hits;
+      // Same per-box bookkeeping as the other two cache-hit paths below,
+      // so EXPLAIN ANALYZE box cache_hits reconcile with ExecStats.
+      if (options_.collect_box_stats) ++box_stats_[box->id()].cache_hits;
     } else {
       ++stats_.cache_misses;
     }
@@ -263,7 +278,9 @@ Result<const Table*> Executor::EvalBox(Box* box, const RowEnv& env,
     // and held to end of query like the snapshot itself.
     if (options_.governor != nullptr && IsSysTableName(box->table_name()) &&
         charged_sys_tables_.insert(ToLower(box->table_name())).second) {
-      SM_RETURN_IF_ERROR(options_.governor->Reserve(TableBytes(*table)));
+      int64_t bytes = TableBytes(*table);
+      SM_RETURN_IF_ERROR(options_.governor->Reserve(bytes));
+      cache_charged_bytes_ += bytes;
     }
     return table;
   }
@@ -279,9 +296,11 @@ Result<const Table*> Executor::EvalBox(Box* box, const RowEnv& env,
     ++stats_.cache_misses;
     SM_ASSIGN_OR_RETURN(Table result, ComputeBox(box, env));
     if (options_.governor != nullptr) {
-      // Cached results live until the executor dies; the charge is never
-      // released (the governor's lifetime matches the query's).
-      SM_RETURN_IF_ERROR(options_.governor->Reserve(TableBytes(result)));
+      // Cached results live until the executor dies; ~Executor releases
+      // the accumulated cache charges exactly once.
+      int64_t bytes = TableBytes(result);
+      SM_RETURN_IF_ERROR(options_.governor->Reserve(bytes));
+      cache_charged_bytes_ += bytes;
     }
     return &cache_.emplace(box->id(), std::move(result)).first->second;
   }
@@ -296,8 +315,9 @@ Result<const Table*> Executor::EvalBox(Box* box, const RowEnv& env,
     ++stats_.cache_misses;
     SM_ASSIGN_OR_RETURN(Table result, ComputeBox(box, env));
     if (options_.governor != nullptr) {
-      SM_RETURN_IF_ERROR(
-          options_.governor->Reserve(RowBytes(key) + TableBytes(result)));
+      int64_t bytes = RowBytes(key) + TableBytes(result);
+      SM_RETURN_IF_ERROR(options_.governor->Reserve(bytes));
+      cache_charged_bytes_ += bytes;
     }
     return &per_box.emplace(std::move(key), std::move(result)).first->second;
   }
@@ -1466,6 +1486,10 @@ Status Executor::EnsureSccEvaluated(int scc_id) {
   scc_in_progress_ = prev_in_progress;
   scc_in_progress_id_ = prev_id;
   for (int bid : ordered) {
+    // The per-round reserve/release swaps above left exactly the final
+    // relation's bytes charged; the table now joins the box-result cache,
+    // so record that residual for the destructor's single release.
+    if (gov != nullptr) cache_charged_bytes_ += TableBytes(state.at(bid));
     cache_.emplace(bid, std::move(state.at(bid)));
   }
   scc_done_.insert(scc_id);

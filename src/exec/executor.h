@@ -117,6 +117,15 @@ class Executor {
   Executor(QueryGraph* graph, const Catalog* catalog, ExecOptions options);
   Executor(QueryGraph* graph, const Catalog* catalog)
       : Executor(graph, catalog, ExecOptions{}) {}
+  /// Releases the governor charges of the box-result caches, correlated
+  /// memo, sys-snapshot tables, and converged fixpoint relations — exactly
+  /// once, as the cached tables die with the executor. Without this, an
+  /// engine that reused one governor across executors would see cache
+  /// bytes accumulate as a leak.
+  ~Executor();
+
+  Executor(const Executor&) = delete;
+  Executor& operator=(const Executor&) = delete;
 
   /// Evaluates the top box, applies ORDER BY / LIMIT, and returns the
   /// result with column names from the top box.
@@ -188,6 +197,11 @@ class Executor {
   /// names). Snapshots are query-local state: their bytes are reserved
   /// once, at first scan, and held until the query ends.
   std::set<std::string> charged_sys_tables_;
+
+  /// Governor bytes held on behalf of executor-lifetime state (cache_,
+  /// corr_cache_, sys snapshots, converged fixpoint relations). Released
+  /// in one coordinator-side Release by the destructor.
+  int64_t cache_charged_bytes_ = 0;
 
   std::map<int, Table> cache_;  ///< uncorrelated results, keyed by box id
   std::map<int, std::unordered_map<Row, Table, RowHash, RowEq>> corr_cache_;

@@ -45,8 +45,12 @@ double Histogram::Percentile(double p) const {
   const int64_t n = count();
   if (n == 0) return 0;
   p = std::max(0.0, std::min(100.0, p));
-  int64_t target =
-      std::max<int64_t>(1, static_cast<int64_t>(std::ceil(p / 100.0 * n)));
+  // Nearest-rank: target = ceil(p/100 * n), computed with an epsilon so
+  // binary float error cannot round an exact rank up a whole sample (e.g.
+  // p=95, n=20: 0.95*20 evaluates to 19.000000000000004, and a bare ceil
+  // would demand the 20th sample — reporting the max instead of p95).
+  int64_t target = std::max<int64_t>(
+      1, static_cast<int64_t>(std::ceil(p * n / 100.0 - 1e-9)));
   int64_t cumulative = 0;
   for (int bucket = 0; bucket < kNumBuckets; ++bucket) {
     cumulative +=

@@ -1,0 +1,266 @@
+#include "plan/plan_cache.h"
+
+#include <algorithm>
+#include <cctype>
+#include <set>
+
+#include "common/string_util.h"
+#include "qgm/box.h"
+#include "qgm/expr.h"
+#include "sys/system_tables.h"
+
+namespace starmagic {
+
+namespace {
+
+// FNV-1a, 64-bit: stable across runs and platforms, so sys.plan_cache key
+// hashes are reproducible in tests.
+uint64_t Fnv1a(const std::string& s) {
+  uint64_t h = 1469598103934665603ull;
+  for (unsigned char c : s) {
+    h ^= c;
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+const char* Bit(bool b) { return b ? "1" : "0"; }
+
+}  // namespace
+
+std::string PlanCache::NormalizeSql(const std::string& sql) {
+  std::string out;
+  out.reserve(sql.size());
+  bool in_string = false;
+  bool pending_space = false;
+  for (char c : sql) {
+    if (in_string) {
+      out.push_back(c);
+      if (c == '\'') in_string = false;
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      pending_space = true;
+      continue;
+    }
+    if (pending_space && !out.empty()) out.push_back(' ');
+    pending_space = false;
+    out.push_back(c);
+    if (c == '\'') in_string = true;
+  }
+  // A trailing statement separator is not plan content.
+  while (!out.empty() && (out.back() == ';' || out.back() == ' ')) {
+    out.pop_back();
+  }
+  return out;
+}
+
+std::string PlanCache::Fingerprint(const PipelineOptions& o) {
+  return StrCat(StrategyName(o.strategy), "|r", Bit(o.toggles.merge),
+                Bit(o.toggles.local_pushdown), Bit(o.toggles.distinct_pullup),
+                Bit(o.toggles.redundant_join), Bit(o.toggles.constant_folding),
+                Bit(o.toggles.projection_pruning), "|e",
+                Bit(o.emst.use_supplementary), Bit(o.emst.push_conditions),
+                Bit(o.emst.magic_on_base_tables), "|c", Bit(o.cost_compare),
+                "|s", Bit(o.try_sips_order));
+}
+
+std::string PlanCache::Key(const std::string& normalized_sql,
+                           const std::string& fingerprint) {
+  // '\x1f' (unit separator) cannot appear in either component.
+  return StrCat(normalized_sql, "\x1f", fingerprint);
+}
+
+void PlanCache::EraseLocked(
+    std::list<std::shared_ptr<CachedPlan>>::iterator it) {
+  governor_.Release((*it)->bytes);
+  index_.erase(Key((*it)->normalized_sql, (*it)->fingerprint));
+  lru_.erase(it);
+}
+
+PlanCache::LookupResult PlanCache::Lookup(const std::string& normalized_sql,
+                                          const std::string& fingerprint,
+                                          const Catalog& catalog) {
+  std::lock_guard<std::mutex> lock(mu_);
+  LookupResult result;
+  if (capacity_ == 0) {
+    ++stats_.misses;
+    return result;
+  }
+  auto it = index_.find(Key(normalized_sql, fingerprint));
+  if (it == index_.end()) {
+    ++stats_.misses;
+    return result;
+  }
+  const std::shared_ptr<CachedPlan>& entry = *it->second;
+  // Validate version pins against the live catalog. The catalog-wide DDL
+  // pin over-invalidates (any CREATE/DROP drops every entry) but can never
+  // under-invalidate; the per-table pins catch DML and ANALYZE.
+  bool valid = entry->ddl_version == catalog.ddl_version();
+  for (const CachedPlan::TablePin& pin : entry->pins) {
+    if (!valid) break;
+    valid = catalog.HasTable(pin.name) &&
+            catalog.TableVersion(pin.name) == pin.modified &&
+            catalog.LastAnalyzeVersion(pin.name) == pin.analyzed;
+  }
+  if (!valid) {
+    EraseLocked(it->second);
+    ++stats_.invalidations;
+    ++stats_.misses;
+    result.invalidated = true;
+    return result;
+  }
+  ++entry->hits;
+  ++stats_.hits;
+  lru_.splice(lru_.begin(), lru_, it->second);
+  result.plan = entry;
+  return result;
+}
+
+int PlanCache::Insert(CachedPlan plan) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (capacity_ == 0) return 0;
+  std::string key = Key(plan.normalized_sql, plan.fingerprint);
+  auto existing = index_.find(key);
+  if (existing != index_.end()) EraseLocked(existing->second);
+
+  plan.entry_id = next_entry_id_++;
+  plan.key_hash = Fnv1a(key);
+  plan.bytes = EstimatePlanBytes(*plan.graph);
+  // Unlimited budget: Reserve only accounts, it cannot fail.
+  (void)governor_.Reserve(plan.bytes);
+  lru_.push_front(std::make_shared<CachedPlan>(std::move(plan)));
+  index_[key] = lru_.begin();
+
+  int evicted = 0;
+  while (lru_.size() > capacity_) {
+    EraseLocked(std::prev(lru_.end()));
+    ++stats_.evictions;
+    ++evicted;
+  }
+  return evicted;
+}
+
+void PlanCache::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  while (!lru_.empty()) EraseLocked(lru_.begin());
+}
+
+void PlanCache::SetCapacity(size_t capacity) {
+  std::lock_guard<std::mutex> lock(mu_);
+  capacity_ = capacity;
+  while (lru_.size() > capacity_) {
+    EraseLocked(std::prev(lru_.end()));
+    ++stats_.evictions;
+  }
+}
+
+size_t PlanCache::capacity() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return capacity_;
+}
+
+bool PlanCache::enabled() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return capacity_ > 0;
+}
+
+size_t PlanCache::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return lru_.size();
+}
+
+PlanCacheStats PlanCache::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+std::vector<PlanCacheEntryInfo> PlanCache::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<PlanCacheEntryInfo> rows;
+  rows.reserve(lru_.size());
+  for (const std::shared_ptr<CachedPlan>& entry : lru_) {
+    PlanCacheEntryInfo row;
+    row.entry_id = entry->entry_id;
+    row.key_hash = entry->key_hash;
+    row.sql = entry->normalized_sql;
+    row.fingerprint = entry->fingerprint;
+    row.hits = entry->hits;
+    row.bytes = entry->bytes;
+    row.num_params = entry->num_params;
+    row.ddl_version = entry->ddl_version;
+    for (const CachedPlan::TablePin& pin : entry->pins) {
+      if (!row.tables.empty()) row.tables += ",";
+      row.tables += StrCat(pin.name, "@", pin.modified, "/", pin.analyzed);
+    }
+    rows.push_back(std::move(row));
+  }
+  return rows;
+}
+
+int64_t EstimatePlanBytes(const QueryGraph& graph) {
+  int64_t bytes = static_cast<int64_t>(sizeof(QueryGraph));
+  int64_t expr_nodes = 0;
+  auto count_expr = [&expr_nodes](const Expr* e) {
+    if (e == nullptr) return;
+    e->Visit([&expr_nodes](const Expr&) { ++expr_nodes; });
+  };
+  for (const Box* box : graph.boxes()) {
+    bytes += static_cast<int64_t>(sizeof(Box)) +
+             static_cast<int64_t>(box->label().size()) +
+             static_cast<int64_t>(box->table_name().size());
+    bytes += static_cast<int64_t>(box->quantifiers().size()) * 64;
+    for (const ExprPtr& p : box->predicates()) count_expr(p.get());
+    for (const OutputColumn& out : box->outputs()) {
+      bytes += static_cast<int64_t>(out.name.size());
+      count_expr(out.expr.get());
+    }
+  }
+  bytes += expr_nodes * static_cast<int64_t>(sizeof(Expr));
+  return bytes;
+}
+
+Status BindParameters(QueryGraph* graph, const std::vector<Value>& args) {
+  Status status = Status::OK();
+  auto bind = [&args, &status](Expr* e) {
+    if (e->kind != ExprKind::kParameter) return;
+    if (e->param_index < 0 ||
+        e->param_index >= static_cast<int>(args.size())) {
+      if (status.ok()) {
+        status = Status::ExecutionError(
+            StrCat("parameter ?", e->param_index + 1, " has no binding (",
+                   args.size(), " given)"));
+      }
+      return;
+    }
+    e->kind = ExprKind::kLiteral;
+    e->literal = args[static_cast<size_t>(e->param_index)];
+    e->param_index = -1;
+  };
+  for (Box* box : graph->boxes()) {
+    for (ExprPtr& p : box->mutable_predicates()) p->VisitMutable(bind);
+    for (OutputColumn& out : box->mutable_outputs()) {
+      if (out.expr != nullptr) out.expr->VisitMutable(bind);
+    }
+  }
+  return status;
+}
+
+std::vector<std::string> ReferencedBaseTables(const QueryGraph& graph) {
+  std::set<std::string> names;
+  for (const Box* box : graph.boxes()) {
+    if (box->kind() == BoxKind::kBaseTable) names.insert(box->table_name());
+  }
+  return std::vector<std::string>(names.begin(), names.end());
+}
+
+bool ReferencesSysTables(const QueryGraph& graph) {
+  for (const Box* box : graph.boxes()) {
+    if (box->kind() == BoxKind::kBaseTable && IsSysTableName(box->table_name())) {
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace starmagic

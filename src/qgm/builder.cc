@@ -774,6 +774,8 @@ Result<ExprPtr> QgmBuilder::BuildExpr(QueryGraph* g, Box* box, Scope* scope,
                                        ToLower(label));
       return Expr::MakeColumnRef(q->id, 0);
     }
+    case AstExprKind::kParameter:
+      return Expr::MakeParameter(static_cast<const AstParameter&>(e).index);
     case AstExprKind::kExists:
     case AstExprKind::kInSubquery:
       return Status::NotSupported(

@@ -62,6 +62,13 @@ ExprPtr Expr::MakeAggregate(AggFunc func, bool distinct, ExprPtr arg) {
   return e;
 }
 
+ExprPtr Expr::MakeParameter(int param_index) {
+  auto e = std::make_unique<Expr>();
+  e->kind = ExprKind::kParameter;
+  e->param_index = param_index;
+  return e;
+}
+
 ExprPtr Expr::Clone() const {
   auto e = std::make_unique<Expr>();
   e->kind = kind;
@@ -74,6 +81,7 @@ ExprPtr Expr::Clone() const {
   e->like_pattern = like_pattern;
   e->agg_func = agg_func;
   e->agg_distinct = agg_distinct;
+  e->param_index = param_index;
   e->children.reserve(children.size());
   for (const ExprPtr& c : children) e->children.push_back(c->Clone());
   return e;
@@ -165,6 +173,9 @@ bool Expr::Equals(const Expr& a, const Expr& b) {
         return false;
       }
       break;
+    case ExprKind::kParameter:
+      if (a.param_index != b.param_index) return false;
+      break;
   }
   if (a.children.size() != b.children.size()) return false;
   for (size_t i = 0; i < a.children.size(); ++i) {
@@ -210,6 +221,8 @@ std::string Expr::ToString(
       if (agg_func == AggFunc::kCountStar) return "COUNT(*)";
       return StrCat(AggFuncName(agg_func), "(", agg_distinct ? "DISTINCT " : "",
                     children[0]->ToString(column_namer), ")");
+    case ExprKind::kParameter:
+      return StrCat("?", param_index + 1);
   }
   return "?";
 }

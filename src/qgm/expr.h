@@ -23,6 +23,7 @@ enum class ExprKind {
   kIsNull,
   kLike,
   kAggregate,  ///< only in groupby-box output columns
+  kParameter,  ///< unbound positional '?' of a prepared statement
 };
 
 struct Expr;
@@ -53,6 +54,12 @@ struct Expr {
   AggFunc agg_func = AggFunc::kCount;
   bool agg_distinct = false;
 
+  // kParameter: 0-based position of the '?' in the prepared statement.
+  // Rewrite rules treat a parameter exactly like an opaque literal (it
+  // references no quantifier); EXECUTE substitutes a kLiteral before the
+  // plan runs, so the executor never sees one.
+  int param_index = -1;
+
   std::vector<ExprPtr> children;
 
   // -- constructors ---------------------------------------------------------
@@ -63,6 +70,7 @@ struct Expr {
   static ExprPtr MakeIsNull(ExprPtr operand, bool negated);
   static ExprPtr MakeLike(ExprPtr operand, std::string pattern, bool negated);
   static ExprPtr MakeAggregate(AggFunc func, bool distinct, ExprPtr arg);
+  static ExprPtr MakeParameter(int param_index);
 
   ExprPtr Clone() const;
 

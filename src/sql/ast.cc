@@ -183,6 +183,11 @@ std::string AstBetween::ToString() const {
                 low->ToString(), " AND ", high->ToString());
 }
 
+AstExprPtr AstParameter::Clone() const {
+  return std::make_unique<AstParameter>(index);
+}
+std::string AstParameter::ToString() const { return "?"; }
+
 AstExprPtr AstLike::Clone() const {
   return std::make_unique<AstLike>(operand->Clone(), pattern, negated);
 }

@@ -28,6 +28,7 @@ enum class AstExprKind {
   kAggregate,
   kBetween,
   kLike,
+  kParameter,  ///< positional '?' placeholder in a prepared statement
 };
 
 enum class BinaryOp {
@@ -177,6 +178,15 @@ struct AstBetween : AstExpr {
   std::string ToString() const override;
 };
 
+/// A positional `?` parameter. Indexes are assigned left to right within
+/// one statement, starting at 0; ToString renders the 1-based spelling.
+struct AstParameter : AstExpr {
+  explicit AstParameter(int i) : AstExpr(AstExprKind::kParameter), index(i) {}
+  int index;
+  AstExprPtr Clone() const override;
+  std::string ToString() const override;
+};
+
 struct AstLike : AstExpr {
   AstLike(AstExprPtr e, std::string p, bool neg)
       : AstExpr(AstExprKind::kLike), operand(std::move(e)), pattern(std::move(p)),
@@ -273,6 +283,9 @@ enum class StatementKind {
   kDropIndex,
   kAnalyze,
   kExplain,
+  kPrepare,
+  kExecute,
+  kDeallocate,
 };
 
 struct AstStatement {
@@ -349,6 +362,28 @@ struct AstExplain : AstStatement {
   AstExplain() : AstStatement(StatementKind::kExplain) {}
   bool analyze = false;
   std::unique_ptr<AstBlob> query;
+};
+
+/// PREPARE name AS <select>: the body text is kept verbatim (like a view
+/// definition) so the engine can key its plan cache on the original SQL.
+struct AstPrepare : AstStatement {
+  AstPrepare() : AstStatement(StatementKind::kPrepare) {}
+  std::string name;
+  std::string body_sql;  ///< original text of the body
+  std::unique_ptr<AstBlob> body;
+  int num_params = 0;  ///< count of '?' placeholders in the body
+};
+
+/// EXECUTE name [(literal, ...)]: arguments are literal values only.
+struct AstExecute : AstStatement {
+  AstExecute() : AstStatement(StatementKind::kExecute) {}
+  std::string name;
+  std::vector<Value> args;
+};
+
+struct AstDeallocate : AstStatement {
+  AstDeallocate() : AstStatement(StatementKind::kDeallocate) {}
+  std::string name;
 };
 
 }  // namespace starmagic

@@ -1,6 +1,7 @@
 #include "sql/lexer.h"
 
 #include <cctype>
+#include <cerrno>
 #include <cstdlib>
 #include <set>
 
@@ -22,6 +23,7 @@ const std::set<std::string>& Keywords() {
       "AVG",    "MIN",       "MAX",      "ANY",       "SOME",     "DROP",
       "LIMIT",  "ANALYZE",   "GROUPBY",  "UPDATE",    "SET",      "DELETE",
       "INDEX",  "ON",        "USING",    "HASH",      "ORDERED",  "EXPLAIN",
+      "PREPARE", "EXECUTE",  "DEALLOCATE",
   };
   return *kKeywords;
 }
@@ -121,7 +123,19 @@ Result<std::vector<Token>> Lex(const std::string& sql) {
       if (is_double) {
         t.double_value = std::strtod(text.c_str(), nullptr);
       } else {
+        // strtoll saturates at INT64_MAX on overflow and only reports it
+        // via errno; an unchecked call would silently clamp literals like
+        // 9223372036854775808. Out-of-range digits are a typed parse
+        // error, never a wrapped or clamped value. (A leading '-' is a
+        // separate kMinus token, so the digits here are always positive
+        // and INT64_MIN itself is not writable as a single literal.)
+        errno = 0;
         t.int_value = std::strtoll(text.c_str(), nullptr, 10);
+        if (errno == ERANGE) {
+          return Status::ParseError(
+              StrCat("integer literal ", text, " at line ", line,
+                     " is out of range for a 64-bit integer"));
+        }
       }
       tokens.push_back(std::move(t));
       continue;
@@ -181,6 +195,9 @@ Result<std::vector<Token>> Lex(const std::string& sql) {
         break;
       case ';':
         single(TokenType::kSemicolon);
+        break;
+      case '?':
+        single(TokenType::kQuestion);
         break;
       case '=':
         single(TokenType::kEq);

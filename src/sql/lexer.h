@@ -32,6 +32,7 @@ enum class TokenType {
   kGt,
   kGtEq,
   kSemicolon,
+  kQuestion,  ///< positional parameter marker '?'
 };
 
 /// One lexical token with source position for error reporting.

@@ -136,6 +136,13 @@ class Parser {
       SM_ASSIGN_OR_RETURN(stmt->query, ParseBlob());
       return std::unique_ptr<AstStatement>(std::move(stmt));
     }
+    if (ConsumeKeyword("PREPARE")) return ParsePrepare();
+    if (ConsumeKeyword("EXECUTE")) return ParseExecute();
+    if (ConsumeKeyword("DEALLOCATE")) {
+      auto stmt = std::make_unique<AstDeallocate>();
+      SM_ASSIGN_OR_RETURN(stmt->name, ExpectIdentifier("statement name"));
+      return std::unique_ptr<AstStatement>(std::move(stmt));
+    }
     return Status::ParseError(StrCat("expected a statement, got ",
                                      Peek().Describe(), " at line ",
                                      Peek().line));
@@ -276,6 +283,39 @@ class Parser {
     }
     return Status::ParseError(StrCat(
         "expected TABLE, VIEW, or INDEX after DROP at line ", Peek().line));
+  }
+
+  /// PREPARE name AS <select>. Like CREATE VIEW, the body text is captured
+  /// verbatim between the token after AS and the token past the blob, so
+  /// the engine can re-key its plan cache on exactly what was written.
+  Result<std::unique_ptr<AstStatement>> ParsePrepare() {
+    auto stmt = std::make_unique<AstPrepare>();
+    SM_ASSIGN_OR_RETURN(stmt->name, ExpectIdentifier("statement name"));
+    SM_RETURN_IF_ERROR(ExpectKeyword("AS"));
+    int params_before = param_count_;
+    int body_start = Peek().position;
+    SM_ASSIGN_OR_RETURN(stmt->body, ParseBlob());
+    int body_end = Peek().position;
+    stmt->body_sql = sql_.substr(static_cast<size_t>(body_start),
+                                 static_cast<size_t>(body_end - body_start));
+    stmt->num_params = param_count_ - params_before;
+    return std::unique_ptr<AstStatement>(std::move(stmt));
+  }
+
+  /// EXECUTE name [(literal, ...)]. Arguments are literal values: binding
+  /// happens in the engine, after the cached plan is fetched, so anything
+  /// needing name resolution would defeat the compile-skipping point.
+  Result<std::unique_ptr<AstStatement>> ParseExecute() {
+    auto stmt = std::make_unique<AstExecute>();
+    SM_ASSIGN_OR_RETURN(stmt->name, ExpectIdentifier("statement name"));
+    if (ConsumeIf(TokenType::kLParen)) {
+      do {
+        SM_ASSIGN_OR_RETURN(Value v, ParseLiteralValue());
+        stmt->args.push_back(std::move(v));
+      } while (ConsumeIf(TokenType::kComma));
+      SM_RETURN_IF_ERROR(Expect(TokenType::kRParen, "')'"));
+    }
+    return std::unique_ptr<AstStatement>(std::move(stmt));
   }
 
   Result<Value> ParseLiteralValue() {
@@ -680,6 +720,9 @@ class Parser {
         }
         return AstExprPtr(std::make_unique<AstColumnRef>("", std::move(first)));
       }
+      case TokenType::kQuestion:
+        Advance();
+        return AstExprPtr(std::make_unique<AstParameter>(param_count_++));
       case TokenType::kLParen: {
         Advance();
         if (CheckKeyword("SELECT")) {
@@ -729,6 +772,8 @@ class Parser {
   const std::string& sql_;
   std::vector<Token> tokens_;
   size_t pos_ = 0;
+  /// Positional '?' parameters seen so far, assigned left to right.
+  int param_count_ = 0;
 };
 
 }  // namespace

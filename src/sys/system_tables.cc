@@ -96,6 +96,15 @@ constexpr const char* kSysSchemaSpec[] = {
     "sys.box_stats|cache_hits|INTEGER",
     "sys.box_stats|probes|INTEGER",
     "sys.box_stats|wall_ms|DOUBLE",
+    "sys.plan_cache|entry|INTEGER",
+    "sys.plan_cache|key_hash|TEXT",
+    "sys.plan_cache|sql|TEXT",
+    "sys.plan_cache|fingerprint|TEXT",
+    "sys.plan_cache|hits|INTEGER",
+    "sys.plan_cache|bytes|INTEGER",
+    "sys.plan_cache|num_params|INTEGER",
+    "sys.plan_cache|ddl_version|INTEGER",
+    "sys.plan_cache|tables|TEXT",
     "sys.settings|name|TEXT",
     "sys.settings|value|TEXT",
     "sys.settings|source|TEXT",
@@ -334,6 +343,21 @@ std::vector<Row> FillBoxStats(const SysEngineState& s) {
   return rows;
 }
 
+// Plan-cache entries in LRU order (most recently used first) — "what is
+// resident, how hot is it, and which catalog versions does it pin".
+std::vector<Row> FillPlanCache(const SysEngineState& s) {
+  std::vector<Row> rows;
+  if (!s.plan_cache_fn) return rows;
+  for (const SysPlanCacheRow& r : s.plan_cache_fn()) {
+    rows.push_back(Row{Value::Int(r.entry_id), Value::String(r.key_hash),
+                       Value::String(r.sql), Value::String(r.fingerprint),
+                       Value::Int(r.hits), Value::Int(r.bytes),
+                       Value::Int(r.num_params), Value::Int(r.ddl_version),
+                       Value::String(r.tables)});
+  }
+  return rows;
+}
+
 std::vector<Row> FillSettings(const SysEngineState& s) {
   std::vector<Row> rows;
   if (!s.settings_fn) return rows;
@@ -413,6 +437,7 @@ SysFillFn BuiltinFill(const std::string& table) {
   if (table == "sys.table_stats") return FillTableStats;
   if (table == "sys.rewrite_rules") return FillRewriteRules;
   if (table == "sys.box_stats") return FillBoxStats;
+  if (table == "sys.plan_cache") return FillPlanCache;
   if (table == "sys.settings") return FillSettings;
   if (table == "sys.governor") return FillGovernor;
   return nullptr;

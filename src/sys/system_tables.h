@@ -55,6 +55,20 @@ struct SysBoxStatRow {
   double wall_ms = 0;
 };
 
+/// One plan-cache entry (sys.plan_cache row), LRU order (most recently
+/// used first). Produced by the Database from PlanCache::Snapshot.
+struct SysPlanCacheRow {
+  int64_t entry_id = 0;
+  std::string key_hash;  ///< FNV-1a of the cache key, 16 hex digits
+  std::string sql;       ///< normalized SQL of the key
+  std::string fingerprint;
+  int64_t hits = 0;
+  int64_t bytes = 0;
+  int64_t num_params = 0;
+  int64_t ddl_version = 0;  ///< catalog DDL version pinned at compile
+  std::string tables;       ///< "name@modified/analyzed" pins, comma-joined
+};
+
 /// Everything a system-table fill function may read. The engine assembles
 /// one per query; all pointers are borrowed and may be null (a table whose
 /// source is absent materializes empty). `settings` is produced lazily via
@@ -74,6 +88,8 @@ struct SysEngineState {
   const ProgressRegistry* progress = nullptr;
   /// Lazily invoked once when sys.settings materializes.
   std::function<std::vector<SysSettingRow>()> settings_fn;
+  /// Lazily invoked once when sys.plan_cache materializes.
+  std::function<std::vector<SysPlanCacheRow>()> plan_cache_fn;
 };
 
 /// Produces the rows of one system table from a consistent engine state.

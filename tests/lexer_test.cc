@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cstdint>
+
 namespace starmagic {
 namespace {
 
@@ -79,6 +82,43 @@ TEST(LexerTest, PositionsTrackLines) {
 
 TEST(LexerTest, UnexpectedCharacterFails) {
   EXPECT_FALSE(Lex("SELECT @x").ok());
+}
+
+TEST(LexerTest, IntLiteralOverflowIsTypedParseError) {
+  // One past INT64_MAX: strtoll would silently saturate without the
+  // errno check; the lexer must reject it instead of clamping.
+  auto r = Lex("SELECT 9223372036854775808");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kParseError);
+  EXPECT_NE(r.status().ToString().find("9223372036854775808"),
+            std::string::npos);
+  EXPECT_FALSE(Lex("SELECT 99999999999999999999999999").ok());
+}
+
+TEST(LexerTest, IntLiteralMaxStillLexes) {
+  auto tokens = MustLex("9223372036854775807");
+  ASSERT_EQ(tokens.size(), 2u);
+  EXPECT_EQ(tokens[0].type, TokenType::kIntLiteral);
+  EXPECT_EQ(tokens[0].int_value, INT64_MAX);
+}
+
+TEST(LexerTest, NegativeLiteralIsMinusThenDigits) {
+  // INT64_MIN is not writable as one literal: '-' lexes separately, so
+  // the digit run 9223372036854775808 would overflow — the writable
+  // minimum single-literal magnitude is INT64_MAX.
+  auto tokens = MustLex("-9223372036854775807");
+  ASSERT_EQ(tokens.size(), 3u);
+  EXPECT_EQ(tokens[0].type, TokenType::kMinus);
+  EXPECT_EQ(tokens[1].type, TokenType::kIntLiteral);
+  EXPECT_EQ(tokens[1].int_value, INT64_MAX);
+  EXPECT_FALSE(Lex("-9223372036854775808").ok());
+}
+
+TEST(LexerTest, QuestionMarkIsParameterToken) {
+  auto tokens = MustLex("a = ? AND b > ?");
+  std::vector<TokenType> types;
+  for (const Token& t : tokens) types.push_back(t.type);
+  EXPECT_EQ(std::count(types.begin(), types.end(), TokenType::kQuestion), 2);
 }
 
 }  // namespace

@@ -261,6 +261,34 @@ TEST(MetricsTest, PercentileWithNegativeAndZeroObservations) {
   EXPECT_GE(h.Percentile(1), h.min());
 }
 
+TEST(MetricsTest, PercentileNearestRankIsNotInflatedByFloatError) {
+  // p=95, n=20: 0.95*20 evaluates to 19.000000000000004 in binary floats,
+  // so a bare ceil demands rank 20 — the single huge outlier — instead of
+  // rank 19. The epsilon in Percentile keeps the target at 19, whose
+  // sample (1.0, bucket [1,2)) reports the bucket's upper edge 2.
+  Histogram h;
+  for (int i = 0; i < 19; ++i) h.Observe(1.0);
+  h.Observe(1000.0);
+  EXPECT_DOUBLE_EQ(h.Percentile(95), 2);
+  EXPECT_DOUBLE_EQ(h.Percentile(99), 1000);  // rank 20 — the outlier
+
+  // Same trap at p=50, n=10 (0.5*10 is exact, but pin it anyway): rank 5
+  // of five 1.0s and five 1000.0s is still a 1.0.
+  Histogram half;
+  for (int i = 0; i < 5; ++i) half.Observe(1.0);
+  for (int i = 0; i < 5; ++i) half.Observe(1000.0);
+  EXPECT_DOUBLE_EQ(half.Percentile(50), 2);
+}
+
+TEST(MetricsTest, PercentileZeroClampsToRankOne) {
+  Histogram h;
+  h.Observe(4.0);
+  h.Observe(8.0);
+  // p=0 would compute target 0; the floor of rank 1 keeps it meaningful.
+  EXPECT_DOUBLE_EQ(h.Percentile(0), 8);  // bucket [4,8) upper edge
+  EXPECT_DOUBLE_EQ(h.Percentile(100), 8);
+}
+
 TEST(MetricsTest, PercentileOrderingAndToString) {
   Histogram h;
   for (int i = 1; i <= 100; ++i) h.Observe(i);

@@ -150,6 +150,66 @@ TEST(ParserTest, InsertMultipleRows) {
   EXPECT_EQ(ins.rows[1][0].int_value(), -2);
 }
 
+TEST(ParserTest, PrepareCapturesBodySqlAndParamCount) {
+  auto r = ParseStatement(
+      "PREPARE deep AS SELECT dst FROM tc WHERE src = ? AND dst < ?");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  const auto& prep = static_cast<const AstPrepare&>(**r);
+  EXPECT_EQ(prep.name, "deep");
+  EXPECT_EQ(prep.body_sql, "SELECT dst FROM tc WHERE src = ? AND dst < ?");
+  EXPECT_EQ(prep.num_params, 2);
+  ASSERT_NE(prep.body, nullptr);
+  ASSERT_TRUE(prep.body->IsSingleBlock());
+}
+
+TEST(ParserTest, PrepareWithoutParamsCountsZero) {
+  auto r = ParseStatement("PREPARE p AS SELECT a FROM t");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(static_cast<const AstPrepare&>(**r).num_params, 0);
+}
+
+TEST(ParserTest, ExecuteWithAndWithoutArgs) {
+  auto r = ParseStatement("EXECUTE deep(3, -1.5, 'x', NULL, TRUE)");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  const auto& exec = static_cast<const AstExecute&>(**r);
+  EXPECT_EQ(exec.name, "deep");
+  ASSERT_EQ(exec.args.size(), 5u);
+  EXPECT_EQ(exec.args[0].int_value(), 3);
+  EXPECT_EQ(exec.args[1].double_value(), -1.5);
+  EXPECT_EQ(exec.args[2].string_value(), "x");
+  EXPECT_TRUE(exec.args[3].is_null());
+  EXPECT_EQ(exec.args[4].bool_value(), true);
+
+  auto bare = ParseStatement("EXECUTE deep");
+  ASSERT_TRUE(bare.ok()) << bare.status().ToString();
+  EXPECT_TRUE(static_cast<const AstExecute&>(**bare).args.empty());
+}
+
+TEST(ParserTest, ExecuteArgsAreLiteralsOnly) {
+  // Arguments bind after plan-cache fetch; expressions would need the
+  // compile path the cache exists to skip.
+  EXPECT_FALSE(ParseStatement("EXECUTE p(1 + 2)").ok());
+  EXPECT_FALSE(ParseStatement("EXECUTE p(a)").ok());
+}
+
+TEST(ParserTest, Deallocate) {
+  auto r = ParseStatement("DEALLOCATE deep");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(static_cast<const AstDeallocate&>(**r).name, "deep");
+}
+
+TEST(ParserTest, ParametersNumberInTextOrder) {
+  auto blob = MustParseQuery("SELECT ?, ? FROM t");
+  ASSERT_NE(blob, nullptr);
+  ASSERT_EQ(blob->first->items.size(), 2u);
+  const auto& p0 = static_cast<const AstParameter&>(*blob->first->items[0].expr);
+  const auto& p1 = static_cast<const AstParameter&>(*blob->first->items[1].expr);
+  ASSERT_EQ(p0.kind, AstExprKind::kParameter);
+  ASSERT_EQ(p1.kind, AstExprKind::kParameter);
+  EXPECT_EQ(p0.index, 0);
+  EXPECT_EQ(p1.index, 1);
+}
+
 TEST(ParserTest, ScriptSplitsOnSemicolons) {
   auto r = ParseScript("CREATE TABLE t (a INTEGER); INSERT INTO t VALUES (1);");
   ASSERT_TRUE(r.ok()) << r.status().ToString();

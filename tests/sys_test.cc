@@ -82,14 +82,14 @@ TEST(SysNameTest, MatchesSysPrefixCaseInsensitively) {
 TEST(SysRegistryTest, BuiltinsPresentAndNameSorted) {
   SystemTableRegistry registry;
   std::vector<const SystemTableDef*> tables = registry.Tables();
-  ASSERT_EQ(tables.size(), 12u);
+  ASSERT_EQ(tables.size(), 13u);
   for (size_t i = 1; i < tables.size(); ++i) {
     EXPECT_LT(tables[i - 1]->name, tables[i]->name);
   }
   for (const char* name :
        {"sys.metrics", "sys.histogram_buckets", "sys.query_log", "sys.tables",
         "sys.columns", "sys.indexes", "sys.table_stats", "sys.rewrite_rules",
-        "sys.box_stats", "sys.settings", "sys.governor",
+        "sys.box_stats", "sys.plan_cache", "sys.settings", "sys.governor",
         "sys.active_queries"}) {
     EXPECT_NE(registry.Find(name), nullptr) << name;
   }
